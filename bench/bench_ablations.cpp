@@ -1,0 +1,172 @@
+// E-ABL — ablations over the design choices and Section 6.1 robustness
+// knobs that DESIGN.md calls out:
+//   A. laziness (self-loop probability): slows convergence, no bias;
+//   B. detection noise: symmetric attenuation / additive offset, both
+//      calibratable;
+//   C. movement drift: unbiased in expectation but worse-concentrated
+//      (re-collisions cluster along the drift axis);
+//   D. anytime trajectory: the running estimate c/r converges smoothly,
+//      so agents can act before the full Theorem 1 budget.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "graph/biased_torus2d.hpp"
+#include "graph/torus2d.hpp"
+#include "sim/trajectory.hpp"
+#include "stats/accumulator.hpp"
+
+namespace antdense {
+namespace {
+
+constexpr std::uint32_t kSide = 48;
+constexpr std::uint32_t kAgents = 231;  // d ~ 0.1
+
+void laziness_ablation(std::uint32_t trials) {
+  std::cout << "\n## A. laziness\n\n";
+  const graph::Torus2D torus(kSide, kSide);
+  util::Table table({"lazy prob", "t", "eps@90%", "mean/d"});
+  const double d = (kAgents - 1.0) / (kSide * kSide);
+  for (double lazy : {0.0, 0.25, 0.5}) {
+    for (std::uint32_t t : {256u, 1024u}) {
+      sim::DensityConfig cfg;
+      cfg.num_agents = kAgents;
+      cfg.rounds = t;
+      cfg.lazy_probability = lazy;
+      const auto estimates =
+          sim::collect_all_agent_estimates(torus, cfg, 0xAB1, trials);
+      stats::Accumulator acc;
+      for (double e : estimates) {
+        acc.add(e);
+      }
+      table.row()
+          .cell(util::format_fixed(lazy, 2))
+          .cell(t)
+          .cell(util::format_fixed(
+              stats::epsilon_at_confidence(estimates, d, 0.9), 4))
+          .cell(util::format_fixed(acc.mean() / d, 4))
+          .commit();
+    }
+  }
+  table.print_markdown(std::cout);
+  std::cout << "\nLaziness leaves the mean ratio at 1 (regularity holds) "
+               "and costs only a modest accuracy factor.\n";
+}
+
+void noise_ablation(std::uint32_t trials) {
+  std::cout << "\n## B. detection noise\n\n";
+  const graph::Torus2D torus(kSide, kSide);
+  const double d = (kAgents - 1.0) / (kSide * kSide);
+  util::Table table({"miss prob", "spurious prob", "mean d~",
+                     "predicted (1-p)d + s", "ratio"});
+  for (double miss : {0.0, 0.2, 0.4}) {
+    for (double spurious : {0.0, 0.02}) {
+      sim::DensityConfig cfg;
+      cfg.num_agents = kAgents;
+      cfg.rounds = 512;
+      cfg.detection_miss_probability = miss;
+      cfg.spurious_collision_probability = spurious;
+      const auto estimates =
+          sim::collect_all_agent_estimates(torus, cfg, 0xAB2, trials);
+      stats::Accumulator acc;
+      for (double e : estimates) {
+        acc.add(e);
+      }
+      const double predicted = (1.0 - miss) * d + spurious;
+      table.row()
+          .cell(util::format_fixed(miss, 2))
+          .cell(util::format_fixed(spurious, 2))
+          .cell(util::format_fixed(acc.mean(), 4))
+          .cell(util::format_fixed(predicted, 4))
+          .cell(util::format_fixed(acc.mean() / predicted, 4))
+          .commit();
+    }
+  }
+  table.print_markdown(std::cout);
+  std::cout << "\nBoth noise modes shift the estimator exactly as the "
+               "linear model predicts — an agent that knows its sensor "
+               "rates can invert them.\n";
+}
+
+void drift_ablation(std::uint32_t trials) {
+  std::cout << "\n## C. movement drift\n\n";
+  const double d = (kAgents - 1.0) / (kSide * kSide);
+  util::Table table({"drift", "mean/d", "eps@90%"});
+  for (double drift : {0.0, 0.1, 0.2}) {
+    const graph::BiasedTorus2D topo =
+        graph::BiasedTorus2D::with_drift(kSide, kSide, drift);
+    sim::DensityConfig cfg;
+    cfg.num_agents = kAgents;
+    cfg.rounds = 1024;
+    const auto estimates =
+        sim::collect_all_agent_estimates(topo, cfg, 0xAB3, trials);
+    stats::Accumulator acc;
+    for (double e : estimates) {
+      acc.add(e);
+    }
+    table.row()
+        .cell(util::format_fixed(drift, 2))
+        .cell(util::format_fixed(acc.mean() / d, 4))
+        .cell(util::format_fixed(
+            stats::epsilon_at_confidence(estimates, d, 0.9), 4))
+        .commit();
+  }
+  table.print_markdown(std::cout);
+  std::cout << "\nShared drift keeps the estimator unbiased but shrinks "
+               "the *relative* diffusion between agents, so collisions "
+               "cluster and the error at fixed t grows.\n";
+}
+
+void trajectory_profile(std::uint32_t trials) {
+  std::cout << "\n## D. anytime convergence profile\n\n";
+  const graph::Torus2D torus(kSide, kSide);
+  const std::vector<std::uint32_t> checkpoints = {16,  32,   64,  128,
+                                                  256, 1024, 4096};
+  const double d = (kAgents - 1.0) / (kSide * kSide);
+  std::vector<stats::Accumulator> abs_err(checkpoints.size());
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    const auto r = sim::run_trajectory(torus, kAgents, kAgents, checkpoints,
+                                       rng::derive_seed(0xAB4, trial));
+    for (std::uint32_t a = 0; a < kAgents; ++a) {
+      for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+        abs_err[c].add(std::fabs(r.estimates[a][c] - d) / d);
+      }
+    }
+  }
+  util::Table table({"round r", "mean |d~ - d| / d", "x sqrt(r) (level =>"
+                     " ~r^{-1/2} decay)"});
+  for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+    table.row()
+        .cell(checkpoints[c])
+        .cell(util::format_fixed(abs_err[c].mean(), 4))
+        .cell(util::format_fixed(
+            abs_err[c].mean() * std::sqrt(checkpoints[c]), 3))
+        .commit();
+  }
+  table.print_markdown(std::cout);
+}
+
+void run(const util::Args& args) {
+  const auto trials = static_cast<std::uint32_t>(args.get_uint("trials", 6));
+  bench::print_banner(
+      "E-ABL", "Design-choice and Section 6.1 robustness ablations",
+      "laziness/noise/drift degrade exactly as modeled; running estimate "
+      "decays ~ r^{-1/2} (mod logs) at every prefix");
+  laziness_ablation(trials);
+  noise_ablation(trials);
+  drift_ablation(trials);
+  trajectory_profile(trials);
+}
+
+}  // namespace
+}  // namespace antdense
+
+int main(int argc, char** argv) {
+  const antdense::util::Args args(argc, argv);
+  antdense::util::WallTimer timer;
+  antdense::run(args);
+  std::cout << "\n[elapsed "
+            << antdense::util::format_fixed(timer.elapsed_seconds(), 1)
+            << "s]\n";
+  return 0;
+}

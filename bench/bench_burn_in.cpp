@@ -1,0 +1,108 @@
+// E12 — Section 5.1.4: burn-in.
+//
+// Part 1: exact TV distance to stationarity vs steps on a crawlable
+//         graph, against the spectral envelope lambda^m scaling and the
+//         paper's budget M = log(|E|/delta)/(1-lambda).
+// Part 2: effect of insufficient burn-in on Algorithm 2 — walks started
+//         at one seed vertex without enough burn-in collide far too
+//         often and the size estimate biases low.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "graph/generators.hpp"
+#include "netsize/size_estimator.hpp"
+#include "spectral/walk_matrix.hpp"
+#include "stats/quantile.hpp"
+
+namespace antdense {
+namespace {
+
+void tv_part() {
+  const graph::Graph g = graph::make_barabasi_albert_graph(500, 3, 0x12A);
+  const double lambda = spectral::second_eigenvalue_magnitude(g);
+  const auto budget = core::burn_in_rounds(g.num_edges(), 0.1, lambda);
+  std::cout << "\n## TV distance to stationarity (BA graph, |V|=500, "
+               "lambda = "
+            << util::format_fixed(lambda, 4)
+            << ", paper budget M = " << budget << ")\n\n";
+
+  const auto pi = spectral::stationary_distribution(g);
+  std::vector<double> dist(g.num_vertices(), 0.0);
+  dist[0] = 1.0;
+  util::Table table({"steps m", "TV(dist, pi)", "lambda^m reference"});
+  std::uint32_t next_report = 1;
+  for (std::uint32_t m = 0; m <= budget; ++m) {
+    if (m == next_report || m == budget) {
+      table.row()
+          .cell(static_cast<std::uint64_t>(m))
+          .cell(util::format_sci(spectral::tv_distance(dist, pi), 3))
+          .cell(util::format_sci(std::pow(lambda, m), 3))
+          .commit();
+      next_report *= 2;
+    }
+    dist = spectral::evolve_step(g, dist);
+  }
+  table.print_markdown(std::cout);
+}
+
+void bias_part(const util::Args& args) {
+  const auto trials = static_cast<std::uint32_t>(args.get_uint("trials", 60));
+  const graph::Graph g = graph::make_barabasi_albert_graph(500, 3, 0x12A);
+  const double lambda = spectral::second_eigenvalue_magnitude(g);
+  const auto m_star =
+      static_cast<std::uint32_t>(core::burn_in_rounds(g.num_edges(), 0.1,
+                                                      lambda));
+  std::cout << "\n## Algorithm 2 bias vs burn-in length (truth 500)\n\n";
+  util::Table table({"burn-in M", "median size estimate", "median rel err"});
+  for (std::uint32_t m :
+       {0u, m_star / 4, m_star, 4 * m_star}) {
+    std::vector<double> estimates;
+    for (std::uint32_t trial = 0; trial < trials; ++trial) {
+      netsize::SizeEstimationConfig cfg;
+      cfg.num_walks = 48;
+      cfg.rounds = 48;
+      cfg.burn_in = m;
+      cfg.seed_vertex = 0;
+      const auto r = netsize::estimate_network_size(
+          g, cfg, rng::derive_seed(0x12B, m, trial));
+      if (r.saw_collision) {
+        estimates.push_back(r.size_estimate);
+      }
+    }
+    const double med = stats::median(estimates);
+    table.row()
+        .cell(static_cast<std::uint64_t>(m))
+        .cell(util::format_fixed(med, 1))
+        .cell(util::format_fixed(std::fabs(med - 500.0) / 500.0, 4))
+        .commit();
+  }
+  table.print_markdown(std::cout);
+  std::cout << "\nZero burn-in keeps all walks clustered near the seed: "
+               "excess collisions -> size underestimated.  At or above "
+               "the paper budget the estimate stabilizes.\n";
+}
+
+void run(const util::Args& args) {
+  bench::print_banner(
+      "E12", "Section 5.1.4 (burn-in analysis)",
+      "TV distance decays geometrically (rate <= lambda); Algorithm 2 "
+      "biased low with insufficient burn-in, unbiased at the paper "
+      "budget");
+  tv_part();
+  bias_part(args);
+}
+
+}  // namespace
+}  // namespace antdense
+
+int main(int argc, char** argv) {
+  const antdense::util::Args args(argc, argv);
+  antdense::util::WallTimer timer;
+  antdense::run(args);
+  std::cout << "\n[elapsed "
+            << antdense::util::format_fixed(timer.elapsed_seconds(), 1)
+            << "s]\n";
+  return 0;
+}

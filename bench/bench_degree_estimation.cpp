@@ -1,0 +1,74 @@
+// E11 — Theorem 31: average-degree estimation by inverse-degree sampling.
+//
+// Median relative error of 1/D vs the true average degree should decay
+// as n^{-1/2}, with the constant governed by avg_deg/min_deg (worse on
+// degree-skewed graphs) — exactly Theorem 31's dependence.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "netsize/degree_estimator.hpp"
+#include "stats/quantile.hpp"
+
+namespace antdense {
+namespace {
+
+void sweep(const graph::Graph& g, const std::string& label,
+           std::uint32_t trials, std::uint64_t seed) {
+  const double truth = g.average_degree();
+  const double skew = truth / g.min_degree();
+  std::cout << "\n## " << label << " (avg deg = "
+            << util::format_fixed(truth, 2)
+            << ", avg/min = " << util::format_fixed(skew, 2) << ")\n\n";
+  util::Table table(
+      {"samples n", "median rel err", "err * sqrt(n) (should be level)"});
+  std::vector<double> ns, errs;
+  for (std::uint32_t n : bench::powers_of_two(64, 4096)) {
+    std::vector<double> trial_errs;
+    for (std::uint32_t trial = 0; trial < trials; ++trial) {
+      const auto r = netsize::estimate_average_degree(
+          g, n, true, 0, 0, rng::derive_seed(seed, n, trial));
+      trial_errs.push_back(
+          std::fabs(r.average_degree_estimate - truth) / truth);
+    }
+    const double err = stats::median(trial_errs);
+    table.row()
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(util::format_fixed(err, 5))
+        .cell(util::format_fixed(err * std::sqrt(n), 3))
+        .commit();
+    ns.push_back(n);
+    errs.push_back(err);
+  }
+  table.print_markdown(std::cout);
+  bench::print_power_fit("median err vs n (expect ~ -0.5)", ns, errs);
+}
+
+void run(const util::Args& args) {
+  const auto trials = static_cast<std::uint32_t>(args.get_uint("trials", 80));
+  bench::print_banner(
+      "E11", "Theorem 31 (average degree estimation)",
+      "median error ~ n^{-1/2}; skewed graphs (higher avg/min ratio) "
+      "need more samples for the same error");
+
+  sweep(graph::make_random_regular_graph(2000, 8, 0x11A),
+        "random 8-regular (no skew)", trials, 0x11B);
+  sweep(graph::make_barabasi_albert_graph(2000, 3, 0x11C),
+        "Barabasi-Albert m=3 (power-law skew)", trials, 0x11D);
+  sweep(graph::make_watts_strogatz_graph(2000, 3, 0.2, 0x11E),
+        "Watts-Strogatz k=3 beta=0.2 (mild skew)", trials, 0x11F);
+}
+
+}  // namespace
+}  // namespace antdense
+
+int main(int argc, char** argv) {
+  const antdense::util::Args args(argc, argv);
+  antdense::util::WallTimer timer;
+  antdense::run(args);
+  std::cout << "\n[elapsed "
+            << antdense::util::format_fixed(timer.elapsed_seconds(), 1)
+            << "s]\n";
+  return 0;
+}

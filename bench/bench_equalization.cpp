@@ -1,0 +1,139 @@
+// E4 — Corollaries 10, 15, 16: equalization probability, visit
+// statistics, and equalization-count moments for a single walk on the
+// 2-D torus.
+//
+//   Cor. 10: P[back at origin after even m] = Θ(1/(m+1)) + O(1/A).
+//   Cor. 15: P[visit fixed node] = O((t/A)·log 2t); E[visits | any] =
+//            Θ(log 2t).
+//   Cor. 16: E[(equalizations)^k] <= k! w^k log^k(2t) — the k-th root
+//            normalized by log(2t) should stay bounded as t grows.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "graph/torus2d.hpp"
+#include "stats/moments.hpp"
+#include "walk/equalization.hpp"
+#include "walk/visits.hpp"
+
+namespace antdense {
+namespace {
+
+void equalization_probability(const util::Args& args) {
+  const auto side = static_cast<std::uint32_t>(args.get_uint("side", 256));
+  const auto trials = args.get_uint("trials", 200000);
+  const auto m_max = static_cast<std::uint32_t>(args.get_uint("mmax", 256));
+  const graph::Torus2D torus(side, side);
+  const auto curve =
+      walk::measure_equalization_curve(torus, m_max, trials, 0xE4A);
+
+  std::cout << "\n## Corollary 10: equalization probability (even m)\n\n";
+  util::Table table({"m", "P measured", "theory 1/(m+1)", "ratio"});
+  std::vector<double> ms, ps;
+  for (std::uint32_t m = 2; m <= m_max; m *= 2) {
+    const double p = curve.probability[m];
+    const double theory = 1.0 / (m + 1.0);
+    table.row()
+        .cell(m)
+        .cell(util::format_sci(p, 3))
+        .cell(util::format_sci(theory, 3))
+        .cell(util::format_fixed(p / theory, 3))
+        .commit();
+    ms.push_back(m);
+    ps.push_back(p);
+  }
+  table.print_markdown(std::cout);
+  bench::print_power_fit("P[equalize] vs even m", ms, ps);
+
+  // Bipartiteness check: odd-m probabilities must all be exactly zero.
+  std::uint64_t odd_hits = 0;
+  for (std::uint32_t m = 1; m <= m_max; m += 2) {
+    odd_hits += curve.hits[m];
+  }
+  std::cout << "odd-m equalizations observed (must be 0): " << odd_hits
+            << "\n";
+}
+
+void visit_statistics(const util::Args& args) {
+  const auto side = static_cast<std::uint32_t>(args.get_uint("vside", 64));
+  const auto trials = args.get_uint("vtrials", 60000);
+  const graph::Torus2D torus(side, side);
+  const double area = static_cast<double>(torus.num_nodes());
+
+  std::cout << "\n## Corollary 15: visits to a fixed node\n\n";
+  util::Table table({"t", "P[visit]", "(t/A)log2t", "P/[(t/A)log2t]",
+                     "E[visits|any]", "E[v|any]/log2t"});
+  for (std::uint32_t t : bench::powers_of_two(128, 2048)) {
+    const auto stats = walk::measure_visits(
+        torus, graph::Torus2D::pack(side / 2, side / 2), t, trials,
+        0xE4B + t);
+    const double log2t = std::log(2.0 * t);
+    const double envelope = t / area * log2t;
+    table.row()
+        .cell(t)
+        .cell(util::format_sci(stats.p_visit, 3))
+        .cell(util::format_sci(envelope, 3))
+        .cell(util::format_fixed(stats.p_visit / envelope, 3))
+        .cell(util::format_fixed(stats.mean_visits_given_any, 3))
+        .cell(util::format_fixed(stats.mean_visits_given_any / log2t, 3))
+        .commit();
+  }
+  table.print_markdown(std::cout);
+}
+
+void equalization_moments(const util::Args& args) {
+  const auto side = static_cast<std::uint32_t>(args.get_uint("mside", 256));
+  const auto trials = args.get_uint("mtrials", 60000);
+  const graph::Torus2D torus(side, side);
+
+  std::cout << "\n## Corollary 16: equalization-count moments\n\n";
+  util::Table table(
+      {"t", "k", "E[c^k]", "(k! log^k 2t)", "w = (E[c^k]/k!)^{1/k}/log2t"});
+  for (std::uint32_t t : {256u, 1024u, 4096u}) {
+    const auto counts = walk::equalization_counts(torus, t, trials, 0xE4C);
+    const double log2t = std::log(2.0 * t);
+    double factorial = 1.0;
+    for (int k = 1; k <= 4; ++k) {
+      factorial *= k;
+      const double raw = stats::raw_moment(counts, k);
+      const double envelope = factorial * std::pow(log2t, k);
+      const double w =
+          std::pow(raw / factorial, 1.0 / k) / log2t;
+      table.row()
+          .cell(t)
+          .cell(k)
+          .cell(util::format_fixed(raw, 3))
+          .cell(util::format_fixed(envelope, 1))
+          .cell(util::format_fixed(w, 4))
+          .commit();
+    }
+  }
+  table.print_markdown(std::cout);
+  std::cout << "\nThe implied constant w should stay bounded (and roughly "
+               "level in t and k) if moments grow as k! w^k log^k(2t).\n";
+}
+
+void run(const util::Args& args) {
+  bench::print_banner(
+      "E4",
+      "Corollaries 10 / 15 / 16 (single-walk equalization and visits)",
+      "equalization decays ~1/(m+1) with zero odd-parity mass; visit "
+      "stats track (t/A)log2t and log2t; moment constant w bounded");
+  equalization_probability(args);
+  visit_statistics(args);
+  equalization_moments(args);
+}
+
+}  // namespace
+}  // namespace antdense
+
+int main(int argc, char** argv) {
+  const antdense::util::Args args(argc, argv);
+  antdense::util::WallTimer timer;
+  antdense::run(args);
+  std::cout << "\n[elapsed "
+            << antdense::util::format_fixed(timer.elapsed_seconds(), 1)
+            << "s]\n";
+  return 0;
+}

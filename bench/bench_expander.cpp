@@ -1,0 +1,105 @@
+// E8 — Lemma 23 / Section 4.4: regular expanders.
+//
+// λ is *measured* by power iteration on the built random-regular graph,
+// then the re-collision curve is compared against λ^m + 1/A (geometric
+// decay to the uniform floor), and Algorithm 1 accuracy is compared to
+// the complete graph (theory: within O(1/(1-λ)^2)).
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "graph/complete.hpp"
+#include "graph/explicit_topology.hpp"
+#include "graph/generators.hpp"
+#include "spectral/walk_matrix.hpp"
+#include "walk/recollision.hpp"
+
+namespace antdense {
+namespace {
+
+void run(const util::Args& args) {
+  const auto nodes = static_cast<std::uint32_t>(args.get_uint("nodes", 4096));
+  const auto trials = args.get_uint("trials", 400000);
+  bench::print_banner(
+      "E8", "Lemma 23 / Section 4.4 (regular expanders)",
+      "re-collision upper-bounded by lambda^m + 1/A with measured "
+      "lambda; semilog decay rate <= lambda; accuracy within a small "
+      "factor of the complete graph");
+
+  for (std::uint32_t degree : {4u, 8u}) {
+    const graph::Graph g =
+        graph::make_random_regular_graph(nodes, degree, 0xE8 + degree);
+    const double lambda = spectral::second_eigenvalue_magnitude(g);
+    const graph::ExplicitTopology topo(g, "random-regular");
+    std::cout << "\n## " << topo.name() << ", measured lambda = "
+              << util::format_fixed(lambda, 4)
+              << " (Friedman ~ 2*sqrt(d-1)/d = "
+              << util::format_fixed(2.0 * std::sqrt(degree - 1.0) / degree, 4)
+              << ")\n\n";
+
+    const std::uint32_t m_max = 24;
+    const auto curve =
+        walk::measure_recollision_curve(topo, m_max, trials, 0xE8A + degree);
+    util::Table table({"m", "P measured", "bound lambda^m + 1/A",
+                       "measured/bound"});
+    std::vector<double> ms, ps;
+    for (std::uint32_t m = 1; m <= m_max; m = m < 8 ? m + 1 : m * 2) {
+      const double p = curve.probability[m];
+      const double bound = core::beta_expander(m, lambda, nodes);
+      table.row()
+          .cell(m)
+          .cell(util::format_sci(p, 3))
+          .cell(util::format_sci(bound, 3))
+          .cell(util::format_fixed(p / bound, 3))
+          .commit();
+      if (p > 1.5 / nodes) {  // pre-floor regime only for the decay fit
+        ms.push_back(m);
+        ps.push_back(p - 1.0 / nodes);
+      }
+    }
+    table.print_markdown(std::cout);
+    if (ms.size() >= 2) {
+      const auto fit = stats::semilog_fit(ms, ps);
+      std::cout << "\nsemilog decay rate exp(slope) = "
+                << util::format_fixed(std::exp(fit.slope), 4)
+                << " (must be <= lambda = " << util::format_fixed(lambda, 4)
+                << ")\n";
+    }
+  }
+
+  // Accuracy vs the complete graph.
+  const auto atrials = static_cast<std::uint32_t>(args.get_uint("atrials", 8));
+  const graph::Graph g8 = graph::make_random_regular_graph(nodes, 8, 0xE8F);
+  const graph::ExplicitTopology expander(g8, "random-regular");
+  const graph::CompleteGraph complete(nodes);
+  constexpr std::uint32_t kAgents = 410;
+  std::cout << "\n## Accuracy vs complete graph (d ~ 0.1)\n\n";
+  util::Table table({"t", "expander eps@90%", "complete eps@90%", "ratio"});
+  for (std::uint32_t t : bench::powers_of_two(128, 2048)) {
+    const double ee =
+        bench::measure_epsilon(expander, kAgents, t, 0.9, 0xE8B, atrials);
+    const double ec =
+        bench::measure_epsilon(complete, kAgents, t, 0.9, 0xE8C, atrials);
+    table.row()
+        .cell(t)
+        .cell(util::format_fixed(ee, 4))
+        .cell(util::format_fixed(ec, 4))
+        .cell(util::format_fixed(ee / ec, 2))
+        .commit();
+  }
+  table.print_markdown(std::cout);
+}
+
+}  // namespace
+}  // namespace antdense
+
+int main(int argc, char** argv) {
+  const antdense::util::Args args(argc, argv);
+  antdense::util::WallTimer timer;
+  antdense::run(args);
+  std::cout << "\n[elapsed "
+            << antdense::util::format_fixed(timer.elapsed_seconds(), 1)
+            << "s]\n";
+  return 0;
+}

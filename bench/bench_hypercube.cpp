@@ -1,0 +1,83 @@
+// E9 — Lemma 25 / Section 4.5: the hypercube.
+//
+// Despite its 1/log A spectral gap, local mixing *improves* with A:
+// re-collision probability <= (9/10)^{m-1} + 1/sqrt(A).  The bench
+// verifies the geometric decay, the 1/sqrt(A) floor scaling across two
+// sizes, and that accuracy matches independent sampling.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "graph/complete.hpp"
+#include "graph/hypercube.hpp"
+#include "walk/recollision.hpp"
+
+namespace antdense {
+namespace {
+
+void run(const util::Args& args) {
+  const auto trials = args.get_uint("trials", 400000);
+  bench::print_banner(
+      "E9", "Lemma 25 / Section 4.5 (hypercube)",
+      "re-collision below (9/10)^{m-1} + A^{-1/2}; floor shrinks with "
+      "sqrt(A); accuracy matches the complete graph");
+
+  for (std::uint32_t k : {12u, 16u}) {
+    const graph::Hypercube cube(k);
+    std::cout << "\n## " << cube.name() << " (A = " << cube.num_nodes()
+              << ", 1/sqrt(A) = "
+              << util::format_sci(1.0 / std::sqrt(cube.num_nodes()), 2)
+              << ")\n\n";
+    const std::uint32_t m_max = 48;
+    const auto curve =
+        walk::measure_recollision_curve(cube, m_max, trials, 0xE9A + k);
+    util::Table table(
+        {"m", "P measured", "bound (9/10)^{m-1}+A^{-1/2}", "measured/bound"});
+    for (std::uint32_t m = 1; m <= m_max;
+         m = m < 8 ? m + 1 : m * 2) {
+      const double p = curve.probability[m];
+      const double bound = core::beta_hypercube(m, cube.num_nodes());
+      table.row()
+          .cell(m)
+          .cell(util::format_sci(p, 3))
+          .cell(util::format_sci(bound, 3))
+          .cell(util::format_fixed(p / bound, 3))
+          .commit();
+    }
+    table.print_markdown(std::cout);
+  }
+
+  const auto atrials = static_cast<std::uint32_t>(args.get_uint("atrials", 8));
+  const graph::Hypercube cube12(12);
+  const graph::CompleteGraph complete(4096);
+  constexpr std::uint32_t kAgents = 410;
+  std::cout << "\n## Accuracy vs complete graph (A=4096, d ~ 0.1)\n\n";
+  util::Table table({"t", "hypercube eps@90%", "complete eps@90%", "ratio"});
+  for (std::uint32_t t : bench::powers_of_two(128, 2048)) {
+    const double eh =
+        bench::measure_epsilon(cube12, kAgents, t, 0.9, 0xE9B, atrials);
+    const double ec =
+        bench::measure_epsilon(complete, kAgents, t, 0.9, 0xE9C, atrials);
+    table.row()
+        .cell(t)
+        .cell(util::format_fixed(eh, 4))
+        .cell(util::format_fixed(ec, 4))
+        .cell(util::format_fixed(eh / ec, 2))
+        .commit();
+  }
+  table.print_markdown(std::cout);
+}
+
+}  // namespace
+}  // namespace antdense
+
+int main(int argc, char** argv) {
+  const antdense::util::Args args(argc, argv);
+  antdense::util::WallTimer timer;
+  antdense::run(args);
+  std::cout << "\n[elapsed "
+            << antdense::util::format_fixed(timer.elapsed_seconds(), 1)
+            << "s]\n";
+  return 0;
+}

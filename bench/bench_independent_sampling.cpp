@@ -1,0 +1,82 @@
+// E13 — Theorem 32 vs Theorem 1: the random walk pays only a log factor.
+//
+// Three estimators at identical (A, n, t):
+//   Algorithm 1 (random walk, the paper's contribution),
+//   Algorithm 4 (stationary/mobile independent sampling baseline),
+//   Algorithm 1 on the complete graph (the idealized reference).
+// Expectation: alg4 ~ complete, alg1 within a (log t)-flavored factor;
+// the ratio column should grow slowly (not polynomially) with t.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/independent_sampling.hpp"
+#include "graph/complete.hpp"
+#include "graph/torus2d.hpp"
+#include "stats/concentration.hpp"
+
+namespace antdense {
+namespace {
+
+double alg4_epsilon(const graph::Torus2D& torus, std::uint32_t agents,
+                    std::uint32_t t, double confidence, std::uint64_t seed,
+                    std::uint32_t trials) {
+  std::vector<double> all;
+  double d = 0.0;
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    const auto r = core::run_independent_sampling(
+        torus, agents, t, rng::derive_seed(seed, trial));
+    d = r.true_density;
+    all.insert(all.end(), r.estimates.begin(), r.estimates.end());
+  }
+  return stats::epsilon_at_confidence(all, d, confidence);
+}
+
+void run(const util::Args& args) {
+  const auto trials = static_cast<std::uint32_t>(args.get_uint("trials", 6));
+  bench::print_banner(
+      "E13", "Theorem 32 / Appendix A (independent-sampling baseline)",
+      "alg4 tracks the complete-graph reference; alg1/alg4 ratio grows "
+      "at most logarithmically in t");
+
+  const graph::Torus2D torus(512, 512);  // sqrt(A)=512 > t for all t below
+  const graph::CompleteGraph complete(262144);
+  constexpr std::uint32_t kAgents = 26215;  // d ~ 0.1
+  util::Table table({"t", "alg1 walk eps@90%", "alg4 indep eps@90%",
+                     "complete eps@90%", "alg1/alg4", "thm32 eps"});
+  const double d = (kAgents - 1.0) / 262144.0;
+  for (std::uint32_t t : bench::powers_of_two(32, 256)) {
+    const double e1 =
+        bench::measure_epsilon(torus, kAgents, t, 0.9, 0x13A, trials);
+    const double e4 = alg4_epsilon(torus, kAgents, t, 0.9, 0x13B, trials);
+    const double ec =
+        bench::measure_epsilon(complete, kAgents, t, 0.9, 0x13C, trials);
+    table.row()
+        .cell(t)
+        .cell(util::format_fixed(e1, 4))
+        .cell(util::format_fixed(e4, 4))
+        .cell(util::format_fixed(ec, 4))
+        .cell(util::format_fixed(e1 / e4, 2))
+        .cell(util::format_fixed(
+            core::independent_sampling_epsilon(t, d, 0.1), 4))
+        .commit();
+  }
+  std::cout << "\n";
+  table.print_markdown(std::cout);
+  std::cout << "\nNote t is capped below sqrt(A) = 512 because Algorithm 4 "
+               "requires non-wrapping walker columns.\n";
+}
+
+}  // namespace
+}  // namespace antdense
+
+int main(int argc, char** argv) {
+  const antdense::util::Args args(argc, argv);
+  antdense::util::WallTimer timer;
+  antdense::run(args);
+  std::cout << "\n[elapsed "
+            << antdense::util::format_fixed(timer.elapsed_seconds(), 1)
+            << "s]\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E-MEET — companion experiment: first return times (Kac's formula
+// E[T_return] = A on every regular graph — a sharp engine check) and
+// first meeting times across topologies, the flip side of the
+// re-collision analysis (how long between distinct encounter episodes).
+#include "bench_common.hpp"
+
+#include "graph/complete.hpp"
+#include "graph/hypercube.hpp"
+#include "graph/ring.hpp"
+#include "graph/torus2d.hpp"
+#include "graph/torus_kd.hpp"
+#include "walk/return_time.hpp"
+
+namespace antdense {
+namespace {
+
+template <graph::Topology T>
+void report(const T& topo, std::uint32_t cap_multiplier,
+            std::uint64_t trials, util::Table& table, std::uint64_t seed) {
+  const auto cap = static_cast<std::uint32_t>(
+      topo.num_nodes() * cap_multiplier);
+  const auto ret = walk::measure_first_return(topo, cap, trials, seed);
+  const auto meet = walk::measure_first_meeting(topo, cap, trials, seed + 1);
+  table.row()
+      .cell(topo.name())
+      .cell(topo.num_nodes())
+      .cell(util::format_fixed(ret.mean, 1))
+      .cell(util::format_percent(ret.censored_fraction, 1))
+      .cell(util::format_fixed(meet.mean, 1))
+      .cell(util::format_percent(meet.censored_fraction, 1))
+      .commit();
+}
+
+void run(const util::Args& args) {
+  const auto trials = args.get_uint("trials", 30000);
+  bench::print_banner(
+      "E-MEET", "Kac return times and first meeting times",
+      "uncensored mean return time ~ A on fast-returning graphs (Kac); "
+      "heavier censoring on slow-mixing graphs (ring, torus) reflects "
+      "their heavy-tailed return law");
+
+  util::Table table({"topology", "A", "mean return (uncensored)",
+                     "censored", "mean meeting", "censored "});
+  report(graph::CompleteGraph(256), 40, trials, table, 0xEE1);
+  report(graph::Hypercube(8), 40, trials, table, 0xEE2);
+  report(graph::TorusKD(3, 6), 40, trials, table, 0xEE3);
+  report(graph::Torus2D(16, 16), 40, trials, table, 0xEE4);
+  report(graph::Ring(256), 40, trials, table, 0xEE5);
+  std::cout << "\n";
+  table.print_markdown(std::cout);
+  std::cout << "\nKac's formula says the full expectation equals A "
+               "exactly; censoring at 40A trims the heavy tail, so "
+               "slow-mixing graphs report a lower uncensored mean with "
+               "higher censoring — the ordering itself is the signal.\n"
+               "The ~50% meeting censoring on the hypercube and even-sided "
+               "tori is the paper's parity note made visible: on a "
+               "bipartite graph, two walkers starting an odd distance "
+               "apart can never meet (Section 3.3).\n";
+}
+
+}  // namespace
+}  // namespace antdense
+
+int main(int argc, char** argv) {
+  const antdense::util::Args args(argc, argv);
+  antdense::util::WallTimer timer;
+  antdense::run(args);
+  std::cout << "\n[elapsed "
+            << antdense::util::format_fixed(timer.elapsed_seconds(), 1)
+            << "s]\n";
+  return 0;
+}

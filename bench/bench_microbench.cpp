@@ -1,0 +1,108 @@
+// E17 — engine microbenchmarks (google-benchmark): raw step throughput
+// per topology, collision-counter operations, and full simulator rounds.
+// These are the numbers that size every other experiment's runtime.
+#include <benchmark/benchmark.h>
+
+#include "graph/complete.hpp"
+#include "graph/explicit_topology.hpp"
+#include "graph/generators.hpp"
+#include "graph/hypercube.hpp"
+#include "graph/ring.hpp"
+#include "graph/torus2d.hpp"
+#include "graph/torus_kd.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "sim/collision_counter.hpp"
+#include "sim/density_sim.hpp"
+
+namespace antdense {
+namespace {
+
+void BM_Xoshiro256pp(benchmark::State& state) {
+  rng::Xoshiro256pp gen(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen());
+  }
+}
+BENCHMARK(BM_Xoshiro256pp);
+
+template <typename T>
+void walk_bench(benchmark::State& state, const T& topo) {
+  rng::Xoshiro256pp gen(2);
+  auto u = topo.random_node(gen);
+  for (auto _ : state) {
+    u = topo.random_neighbor(u, gen);
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_StepTorus2D(benchmark::State& state) {
+  walk_bench(state, graph::Torus2D(1024, 1024));
+}
+BENCHMARK(BM_StepTorus2D);
+
+void BM_StepRing(benchmark::State& state) {
+  walk_bench(state, graph::Ring(1 << 20));
+}
+BENCHMARK(BM_StepRing);
+
+void BM_StepTorus4D(benchmark::State& state) {
+  walk_bench(state, graph::TorusKD(4, 32));
+}
+BENCHMARK(BM_StepTorus4D);
+
+void BM_StepHypercube(benchmark::State& state) {
+  walk_bench(state, graph::Hypercube(20));
+}
+BENCHMARK(BM_StepHypercube);
+
+void BM_StepComplete(benchmark::State& state) {
+  walk_bench(state, graph::CompleteGraph(1 << 20));
+}
+BENCHMARK(BM_StepComplete);
+
+void BM_StepExplicitRegular(benchmark::State& state) {
+  static const graph::Graph g = graph::make_random_regular_graph(4096, 8, 3);
+  walk_bench(state, graph::ExplicitTopology(g, "rr"));
+}
+BENCHMARK(BM_StepExplicitRegular);
+
+void BM_CollisionCounterAdd(benchmark::State& state) {
+  const auto agents = static_cast<std::size_t>(state.range(0));
+  sim::CollisionCounter counter(agents);
+  rng::Xoshiro256pp gen(4);
+  std::vector<std::uint64_t> keys(agents);
+  for (auto& k : keys) {
+    k = gen();
+  }
+  for (auto _ : state) {
+    counter.begin_round();
+    for (std::uint64_t k : keys) {
+      benchmark::DoNotOptimize(counter.add(k));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(agents));
+}
+BENCHMARK(BM_CollisionCounterAdd)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_DensitySimRound(benchmark::State& state) {
+  const auto agents = static_cast<std::uint32_t>(state.range(0));
+  const graph::Torus2D torus(256, 256);
+  sim::DensityConfig cfg;
+  cfg.num_agents = agents;
+  cfg.rounds = 64;
+  std::uint64_t seed = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_density_walk(torus, cfg, seed++));
+  }
+  // agent-rounds per second.
+  state.SetItemsProcessed(state.iterations() * 64 *
+                          static_cast<std::int64_t>(agents));
+}
+BENCHMARK(BM_DensitySimRound)->Arg(512)->Arg(6554);
+
+}  // namespace
+}  // namespace antdense
+
+BENCHMARK_MAIN();

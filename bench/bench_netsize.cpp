@@ -1,0 +1,101 @@
+// E10 — Theorem 27: network size estimation accuracy.
+//
+// With idealized stationary starts, Algorithm 2's relative error should
+// decay like 1/sqrt(n²t) (fit slope ≈ -1/2 against the budget), and the
+// theory epsilon from Theorem 27 should upper-envelope the measured
+// median error at matching (n, t).  Run on a 3-D torus (slow global
+// mixing, strong local mixing) and a random-regular expander.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "graph/generators.hpp"
+#include "netsize/size_estimator.hpp"
+#include "spectral/walk_matrix.hpp"
+#include "stats/quantile.hpp"
+#include "util/parallel.hpp"
+
+namespace antdense {
+namespace {
+
+double median_relative_error(const graph::Graph& g, std::uint32_t walks,
+                             std::uint32_t rounds, std::uint32_t trials,
+                             std::uint64_t seed) {
+  const double truth = g.num_vertices();
+  std::vector<double> errs(trials, 1e9);
+  util::parallel_for(trials, [&](std::size_t trial) {
+    netsize::SizeEstimationConfig cfg;
+    cfg.num_walks = walks;
+    cfg.rounds = rounds;
+    cfg.start_stationary = true;
+    const auto r = netsize::estimate_network_size(
+        g, cfg, rng::derive_seed(seed, trial));
+    if (r.saw_collision) {
+      errs[trial] = std::fabs(r.size_estimate - truth) / truth;
+    }
+  });
+  return stats::median(errs);
+}
+
+void sweep(const graph::Graph& g, const std::string& label, double b_of_t,
+           std::uint32_t trials, std::uint64_t seed) {
+  std::cout << "\n## " << label << " (|V| = " << g.num_vertices()
+            << ", avg deg = " << util::format_fixed(g.average_degree(), 2)
+            << ")\n\n";
+  util::Table table({"walks n", "rounds t", "n^2 t", "median rel err",
+                     "thm27 eps (delta=0.5)"});
+  std::vector<double> budgets, errs;
+  const struct {
+    std::uint32_t n, t;
+  } configs[] = {{16, 16}, {16, 64}, {32, 64}, {64, 64}, {64, 256},
+                 {128, 256}};
+  for (const auto& c : configs) {
+    const double err = median_relative_error(g, c.n, c.t, trials, seed);
+    const double budget = static_cast<double>(c.n) * c.n * c.t;
+    const double theory = core::theorem27_epsilon(
+        c.n, c.t, 0.5, b_of_t, g.average_degree(), g.num_vertices());
+    table.row()
+        .cell(static_cast<std::uint64_t>(c.n))
+        .cell(static_cast<std::uint64_t>(c.t))
+        .cell(util::format_count(static_cast<std::uint64_t>(budget)))
+        .cell(util::format_fixed(err, 4))
+        .cell(util::format_fixed(theory, 4))
+        .commit();
+    budgets.push_back(budget);
+    errs.push_back(err);
+  }
+  table.print_markdown(std::cout);
+  bench::print_power_fit("median err vs n^2 t (expect ~ -0.5)", budgets,
+                         errs);
+}
+
+void run(const util::Args& args) {
+  const auto trials = static_cast<std::uint32_t>(args.get_uint("trials", 60));
+  bench::print_banner(
+      "E10", "Theorem 27 (random-walk network size estimation)",
+      "median relative error decays ~ (n^2 t)^{-1/2}; Theorem 27 epsilon "
+      "at delta=0.5 envelopes the measured median");
+
+  const graph::Graph torus3 = graph::make_torus_kd_graph(3, 10);  // 1000
+  sweep(torus3, "3-D torus", core::b_torus_kd(256, 3, 1000), trials, 0x10A);
+
+  const graph::Graph rr = graph::make_random_regular_graph(1000, 8, 0x10B);
+  const double lambda = spectral::second_eigenvalue_magnitude(rr);
+  sweep(rr, "random 8-regular expander (lambda = " +
+                util::format_fixed(lambda, 3) + ")",
+        core::b_expander(256, lambda, 1000), trials, 0x10C);
+}
+
+}  // namespace
+}  // namespace antdense
+
+int main(int argc, char** argv) {
+  const antdense::util::Args args(argc, argv);
+  antdense::util::WallTimer timer;
+  antdense::run(args);
+  std::cout << "\n[elapsed "
+            << antdense::util::format_fixed(timer.elapsed_seconds(), 1)
+            << "s]\n";
+  return 0;
+}

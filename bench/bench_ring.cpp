@@ -1,0 +1,102 @@
+// E6 — Lemma 20 / Theorem 21: the ring (weak local mixing).
+//
+// Part 1: re-collision probability decays only as 1/sqrt(m+1)
+//         (log-log slope ≈ -1/2 vs -1 on the 2-D torus).
+// Part 2: density estimation error decays ~ t^{-1/4} (Theorem 21's
+//         Chebyshev analysis) instead of ~t^{-1/2}.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "graph/ring.hpp"
+#include "graph/torus2d.hpp"
+#include "walk/recollision.hpp"
+
+namespace antdense {
+namespace {
+
+void recollision_part(const util::Args& args) {
+  const auto nodes = args.get_uint("nodes", 1 << 16);
+  const auto trials = args.get_uint("trials", 300000);
+  const auto m_max = static_cast<std::uint32_t>(args.get_uint("mmax", 256));
+  const graph::Ring ring(nodes);
+  const auto curve =
+      walk::measure_recollision_curve(ring, m_max, trials, 0xE6A);
+
+  std::cout << "\n## Lemma 20: ring re-collision probability\n\n";
+  util::Table table({"m", "P measured", "theory 1/sqrt(m+1)", "ratio"});
+  std::vector<double> ms, ps;
+  for (std::uint32_t m = 2; m <= m_max; m *= 2) {
+    const double p = curve.probability[m];
+    const double theory = 1.0 / std::sqrt(m + 1.0);
+    table.row()
+        .cell(m)
+        .cell(util::format_sci(p, 3))
+        .cell(util::format_sci(theory, 3))
+        .cell(util::format_fixed(p / theory, 3))
+        .commit();
+    ms.push_back(m);
+    ps.push_back(p);
+  }
+  table.print_markdown(std::cout);
+  bench::print_power_fit("ring P[recollision] vs m (expect -0.5)", ms, ps);
+}
+
+void accuracy_part(const util::Args& args) {
+  const auto trials = static_cast<std::uint32_t>(args.get_uint("atrials", 8));
+  const double delta = 0.1;
+  // Same A and same agent count on ring vs torus: compare decay of eps.
+  const graph::Ring ring(4096);
+  const graph::Torus2D torus(64, 64);
+  constexpr std::uint32_t kAgents = 410;  // d ~ 0.1
+  const double d = (kAgents - 1.0) / 4096.0;
+
+  std::cout << "\n## Theorem 21: estimation accuracy, ring vs 2-D torus\n\n";
+  util::Table table({"t", "ring eps@90%", "thm21 eps (c=1)",
+                     "torus eps@90%", "ring/torus"});
+  std::vector<double> ts, ring_eps, torus_eps;
+  for (std::uint32_t t : bench::powers_of_two(256, 16384)) {
+    const double er =
+        bench::measure_epsilon(ring, kAgents, t, 1.0 - delta, 0xE6B, trials);
+    const double et =
+        bench::measure_epsilon(torus, kAgents, t, 1.0 - delta, 0xE6C, trials);
+    table.row()
+        .cell(t)
+        .cell(util::format_fixed(er, 4))
+        .cell(util::format_fixed(
+            core::theorem21_epsilon_ring(t, d, delta), 4))
+        .cell(util::format_fixed(et, 4))
+        .cell(util::format_fixed(er / et, 2))
+        .commit();
+    ts.push_back(t);
+    ring_eps.push_back(er);
+    torus_eps.push_back(et);
+  }
+  table.print_markdown(std::cout);
+  bench::print_power_fit("ring eps vs t (expect ~ -0.25)", ts, ring_eps);
+  bench::print_power_fit("torus eps vs t (expect ~ -0.5)", ts, torus_eps);
+}
+
+void run(const util::Args& args) {
+  bench::print_banner(
+      "E6", "Lemma 20 / Theorem 21 (the ring: weak local mixing)",
+      "re-collision slope about -1/2; estimation error decays about "
+      "t^{-1/4} on the ring vs t^{-1/2} on the torus; ring strictly "
+      "worse at every t");
+  recollision_part(args);
+  accuracy_part(args);
+}
+
+}  // namespace
+}  // namespace antdense
+
+int main(int argc, char** argv) {
+  const antdense::util::Args args(argc, argv);
+  antdense::util::WallTimer timer;
+  antdense::run(args);
+  std::cout << "\n[elapsed "
+            << antdense::util::format_fixed(timer.elapsed_seconds(), 1)
+            << "s]\n";
+  return 0;
+}

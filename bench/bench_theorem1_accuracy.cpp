@@ -1,0 +1,105 @@
+// E1 — Theorem 1: random-walk density estimation accuracy on the 2-D
+// torus.
+//
+// Sweeps rounds t at two densities, measuring the empirical ε at
+// confidence 1-δ (δ = 0.1) and comparing against Theorem 1's
+// ε = sqrt(log(1/δ)/(td))·log(2t) shape.  The normalized column
+// ε·sqrt(td)/log(2t) should be roughly flat if the theorem captures the
+// true decay; the fitted log-log slope of ε vs t should be near -1/2
+// (times residual log factors).
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "graph/torus2d.hpp"
+
+namespace antdense {
+namespace {
+
+void run(const util::Args& args) {
+  const auto side = static_cast<std::uint32_t>(args.get_uint("side", 64));
+  const auto trials = static_cast<std::uint32_t>(args.get_uint("trials", 6));
+  const double delta = args.get_double("delta", 0.1);
+  const auto t_max = static_cast<std::uint32_t>(args.get_uint("tmax", 4096));
+
+  bench::print_banner(
+      "E1", "Theorem 1 (random-walk sampling accuracy, 2-D torus)",
+      "epsilon decays ~ t^{-1/2} (mod log factor); normalized column "
+      "approximately flat; measured epsilon below theory curve at c1=1");
+
+  const graph::Torus2D torus(side, side);
+  const double area = static_cast<double>(torus.num_nodes());
+  util::Table table({"d", "t", "eps@90% measured", "thm1 eps (c1=1)",
+                     "normalized eps*sqrt(td)/log2t", "chernoff ref"});
+
+  for (double d_target : {0.05, 0.2}) {
+    const auto agents =
+        static_cast<std::uint32_t>(d_target * area) + 1;
+    const double d = (agents - 1) / area;
+    std::vector<double> ts, epss;
+    for (std::uint32_t t : bench::powers_of_two(128, t_max)) {
+      const double eps = bench::measure_epsilon(torus, agents, t,
+                                                1.0 - delta, 0xE1 + t, trials);
+      const double theory = core::theorem1_epsilon(t, d, delta);
+      const double normalized =
+          eps * std::sqrt(t * d) / std::log(2.0 * t);
+      const double chernoff =
+          core::independent_sampling_epsilon(t, d, delta);
+      table.row()
+          .cell(util::format_fixed(d, 3))
+          .cell(t)
+          .cell(util::format_fixed(eps, 4))
+          .cell(util::format_fixed(theory, 4))
+          .cell(util::format_fixed(normalized, 4))
+          .cell(util::format_fixed(chernoff, 4))
+          .commit();
+      ts.push_back(t);
+      epss.push_back(eps);
+    }
+    std::cout << "\n";
+    table.print_markdown(std::cout);
+    bench::print_power_fit("eps vs t at d=" + util::format_fixed(d, 3), ts,
+                           epss);
+    table = util::Table({"d", "t", "eps@90% measured", "thm1 eps (c1=1)",
+                         "normalized eps*sqrt(td)/log2t", "chernoff ref"});
+  }
+
+  // Round-budget check: does Theorem 1's t(eps, delta) deliver?
+  std::cout << "\n## Round budget check (c2 = 1)\n\n";
+  util::Table budget({"target eps", "d", "thm1 t", "measured eps@90%",
+                      "delivered"});
+  for (double eps_target : {0.3, 0.2}) {
+    const double d_target = 0.1;
+    const auto agents =
+        static_cast<std::uint32_t>(d_target * area) + 1;
+    const double d = (agents - 1) / area;
+    const std::uint64_t t64 = core::theorem1_rounds(eps_target, d, delta);
+    const auto t = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(t64, torus.num_nodes()));
+    const double eps =
+        bench::measure_epsilon(torus, agents, t, 1.0 - delta, 0x1E1, trials);
+    budget.row()
+        .cell(util::format_fixed(eps_target, 2))
+        .cell(util::format_fixed(d, 3))
+        .cell(static_cast<std::uint64_t>(t))
+        .cell(util::format_fixed(eps, 4))
+        .cell(eps <= eps_target ? "yes" : "NO")
+        .commit();
+  }
+  budget.print_markdown(std::cout);
+}
+
+}  // namespace
+}  // namespace antdense
+
+int main(int argc, char** argv) {
+  const antdense::util::Args args(argc, argv);
+  antdense::util::WallTimer timer;
+  antdense::run(args);
+  std::cout << "\n[elapsed " << antdense::util::format_fixed(
+                   timer.elapsed_seconds(), 1)
+            << "s]\n";
+  return 0;
+}

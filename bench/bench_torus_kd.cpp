@@ -1,0 +1,102 @@
+// E7 — Lemma 22 / Section 4.3: k-dimensional tori.
+//
+// Re-collision decays as (m+1)^{-k/2}; for k >= 3 the accumulated mass
+// B(t) is O(1), so density estimation matches independent sampling
+// (the complete graph) up to constants.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "graph/complete.hpp"
+#include "graph/torus_kd.hpp"
+#include "walk/recollision.hpp"
+
+namespace antdense {
+namespace {
+
+void recollision_part(const util::Args& args) {
+  const auto trials = args.get_uint("trials", 400000);
+  const auto m_max = static_cast<std::uint32_t>(args.get_uint("mmax", 64));
+
+  for (std::uint32_t k : {3u, 4u}) {
+    const std::uint32_t side = k == 3 ? 64 : 22;
+    const graph::TorusKD topo(k, side);
+    const auto curve =
+        walk::measure_recollision_curve(topo, m_max, trials, 0xE7A + k);
+    std::cout << "\n## Lemma 22: re-collision on " << topo.name() << "\n\n";
+    util::Table table({"m", "P measured", "theory (m+1)^{-k/2}", "ratio"});
+    std::vector<double> ms, ps;
+    for (std::uint32_t m = 2; m <= m_max; m *= 2) {
+      const double p = curve.probability[m];
+      const double theory = std::pow(m + 1.0, -static_cast<double>(k) / 2.0);
+      table.row()
+          .cell(m)
+          .cell(util::format_sci(p, 3))
+          .cell(util::format_sci(theory, 3))
+          .cell(util::format_fixed(p / theory, 3))
+          .commit();
+      if (p > 0.0) {
+        ms.push_back(m);
+        ps.push_back(p);
+      }
+    }
+    table.print_markdown(std::cout);
+    bench::print_power_fit(
+        "k=" + std::to_string(k) + " P[recollision] vs m (expect -" +
+            util::format_fixed(k / 2.0, 1) + ")",
+        ms, ps);
+  }
+}
+
+void accuracy_part(const util::Args& args) {
+  const auto trials = static_cast<std::uint32_t>(args.get_uint("atrials", 8));
+  const double delta = 0.1;
+  const graph::TorusKD torus3(3, 16);  // 4096 nodes
+  const graph::CompleteGraph complete(4096);
+  constexpr std::uint32_t kAgents = 410;
+
+  std::cout
+      << "\n## Section 4.3: 3-D torus matches independent sampling\n\n";
+  util::Table table({"t", "torus3d eps@90%", "complete eps@90%", "ratio"});
+  for (std::uint32_t t : bench::powers_of_two(128, 4096)) {
+    const double e3 = bench::measure_epsilon(torus3, kAgents, t, 1.0 - delta,
+                                             0xE7C, trials);
+    const double ec = bench::measure_epsilon(complete, kAgents, t,
+                                             1.0 - delta, 0xE7D, trials);
+    table.row()
+        .cell(t)
+        .cell(util::format_fixed(e3, 4))
+        .cell(util::format_fixed(ec, 4))
+        .cell(util::format_fixed(e3 / ec, 2))
+        .commit();
+  }
+  table.print_markdown(std::cout);
+  std::cout << "\nB(t) values (theory): B(4096) on k=3 = "
+            << util::format_fixed(core::b_torus_kd(4096, 3, 1ull << 40), 3)
+            << " (constant), vs 2-D torus "
+            << util::format_fixed(core::b_torus2d(4096, 1ull << 40), 3)
+            << " (log t growth)\n";
+}
+
+void run(const util::Args& args) {
+  bench::print_banner(
+      "E7", "Lemma 22 / Section 4.3 (k-dimensional tori)",
+      "re-collision slopes about -k/2; k=3 accuracy within a small "
+      "constant of the complete graph at every t");
+  recollision_part(args);
+  accuracy_part(args);
+}
+
+}  // namespace
+}  // namespace antdense
+
+int main(int argc, char** argv) {
+  const antdense::util::Args args(argc, argv);
+  antdense::util::WallTimer timer;
+  antdense::run(args);
+  std::cout << "\n[elapsed "
+            << antdense::util::format_fixed(timer.elapsed_seconds(), 1)
+            << "s]\n";
+  return 0;
+}

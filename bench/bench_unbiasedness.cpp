@@ -1,0 +1,82 @@
+// E2 — Lemma 2 / Corollary 3: the encounter rate is an unbiased density
+// estimator on every regular topology.
+//
+// For each topology the pooled mean of Algorithm 1 estimates must match
+// d = n/A within Monte Carlo error (the ratio column should be 1.000
+// within the reported standard error).
+#include "bench_common.hpp"
+
+#include "graph/complete.hpp"
+#include "graph/explicit_topology.hpp"
+#include "graph/generators.hpp"
+#include "graph/hypercube.hpp"
+#include "graph/ring.hpp"
+#include "graph/torus2d.hpp"
+#include "graph/torus_kd.hpp"
+#include "stats/accumulator.hpp"
+
+namespace antdense {
+namespace {
+
+template <graph::Topology T>
+void check_unbiased(const T& topo, std::uint32_t agents, std::uint32_t rounds,
+                    std::uint32_t trials, std::uint64_t seed,
+                    util::Table& table) {
+  sim::DensityConfig cfg;
+  cfg.num_agents = agents;
+  cfg.rounds = rounds;
+  const auto estimates =
+      sim::collect_all_agent_estimates(topo, cfg, seed, trials);
+  stats::Accumulator acc;
+  for (double e : estimates) {
+    acc.add(e);
+  }
+  const double d = static_cast<double>(agents - 1) /
+                   static_cast<double>(topo.num_nodes());
+  table.row()
+      .cell(topo.name())
+      .cell(topo.num_nodes())
+      .cell(agents)
+      .cell(rounds)
+      .cell(util::format_fixed(d, 5))
+      .cell(util::format_fixed(acc.mean(), 5))
+      .cell(util::format_fixed(acc.mean() / d, 4))
+      .cell(util::format_sci(acc.standard_error(), 2))
+      .commit();
+}
+
+void run(const util::Args& args) {
+  const auto trials = static_cast<std::uint32_t>(args.get_uint("trials", 40));
+  bench::print_banner(
+      "E2", "Lemma 2 / Corollary 3 (unbiasedness, E[d~] = d)",
+      "mean/d ratio = 1.0 within a few standard errors on all topologies");
+
+  util::Table table({"topology", "A", "agents", "t", "d", "mean d~",
+                     "ratio", "stderr"});
+
+  check_unbiased(graph::Torus2D(48, 48), 116, 256, trials, 0xE2A, table);
+  check_unbiased(graph::Ring(2048), 103, 256, trials, 0xE2B, table);
+  check_unbiased(graph::TorusKD(3, 13), 111, 256, trials, 0xE2C, table);
+  check_unbiased(graph::Hypercube(11), 103, 256, trials, 0xE2D, table);
+  check_unbiased(graph::CompleteGraph(2048), 103, 256, trials, 0xE2E, table);
+
+  const graph::Graph rr = graph::make_random_regular_graph(2048, 8, 0xE2F);
+  check_unbiased(graph::ExplicitTopology(rr, "random-regular"), 103, 256,
+                 trials, 0xE30, table);
+
+  std::cout << "\n";
+  table.print_markdown(std::cout);
+}
+
+}  // namespace
+}  // namespace antdense
+
+int main(int argc, char** argv) {
+  const antdense::util::Args args(argc, argv);
+  antdense::util::WallTimer timer;
+  antdense::run(args);
+  std::cout << "\n[elapsed "
+            << antdense::util::format_fixed(timer.elapsed_seconds(), 1)
+            << "s]\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Sensor network sampling (paper Section 6.3.1).
+//
+// A base station estimates the fraction of sensors that recorded an
+// event by releasing a query token that random-walks the grid with *no*
+// visited-sensor bookkeeping.  The demo compares the naive token against
+// the dedup variant (which must carry a visited set) and independent
+// sampling, over many token releases.
+#include <cmath>
+#include <iostream>
+
+#include "graph/torus2d.hpp"
+#include "sensor/field.hpp"
+#include "sensor/token_sampling.hpp"
+#include "stats/accumulator.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace antdense;
+  const util::Args args(argc, argv);
+  const auto side = static_cast<std::uint32_t>(args.get_uint("side", 128));
+  const double event_rate = args.get_double("rate", 0.2);
+  const auto steps = static_cast<std::uint32_t>(args.get_uint("steps", 2048));
+  const auto releases =
+      static_cast<std::uint32_t>(args.get_uint("releases", 300));
+  const std::uint64_t seed = args.get_uint("seed", 5);
+
+  const graph::Torus2D grid = graph::Torus2D::square(side);
+  const sensor::SensorField field =
+      sensor::SensorField::bernoulli(grid, event_rate, seed);
+
+  std::cout << "Sensor grid " << grid.name() << "; true event fraction = "
+            << util::format_fixed(field.mean(), 4) << "\n";
+  std::cout << "Token walk length " << steps << " steps, " << releases
+            << " independent releases\n\n";
+
+  stats::Accumulator walk, dedup, indep, unique;
+  for (std::uint32_t r = 0; r < releases; ++r) {
+    const auto result = sensor::run_token_sampling(
+        field, steps, rng::derive_seed(seed, 1, r));
+    walk.add(result.walk_estimate);
+    dedup.add(result.dedup_estimate);
+    indep.add(result.independent_estimate);
+    unique.add(result.unique_sensors);
+  }
+
+  util::Table table({"method", "mean estimate", "stddev",
+                     "extra state on token"});
+  table.row()
+      .cell("naive token walk (ours)")
+      .cell(util::format_fixed(walk.mean(), 4))
+      .cell(util::format_fixed(walk.sample_stddev(), 4))
+      .cell("none")
+      .commit();
+  table.row()
+      .cell("dedup walk")
+      .cell(util::format_fixed(dedup.mean(), 4))
+      .cell(util::format_fixed(dedup.sample_stddev(), 4))
+      .cell("visited-sensor set")
+      .commit();
+  table.row()
+      .cell("independent sampling (ideal)")
+      .cell(util::format_fixed(indep.mean(), 4))
+      .cell(util::format_fixed(indep.sample_stddev(), 4))
+      .cell("global addressing")
+      .commit();
+  table.print_markdown(std::cout);
+
+  std::cout << "\nmean distinct sensors per release: "
+            << util::format_fixed(unique.mean(), 0) << " of " << steps
+            << " observations\n";
+  std::cout << "walk vs ideal stddev penalty: "
+            << util::format_fixed(
+                   walk.sample_stddev() / indep.sample_stddev(), 2)
+            << "x — the log-factor repeat-visit cost the paper predicts "
+               "(Corollary 15); dropping the visited set is nearly free.\n";
+  return 0;
+}

@@ -1,0 +1,203 @@
+#include "core/bounds.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace antdense::core {
+
+namespace {
+
+void check_density(double d) {
+  ANTDENSE_CHECK(d > 0.0 && d <= 1.0, "density must be in (0,1]");
+}
+
+void check_delta(double delta) {
+  ANTDENSE_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+}
+
+void check_epsilon(double eps) {
+  ANTDENSE_CHECK(eps > 0.0 && eps < 1.0, "epsilon must be in (0,1)");
+}
+
+}  // namespace
+
+double beta_torus2d(std::uint32_t m, std::uint64_t num_nodes) {
+  return 1.0 / (m + 1.0) + 1.0 / static_cast<double>(num_nodes);
+}
+
+double beta_ring(std::uint32_t m, std::uint64_t num_nodes) {
+  return 1.0 / std::sqrt(m + 1.0) + 1.0 / static_cast<double>(num_nodes);
+}
+
+double beta_torus_kd(std::uint32_t m, std::uint32_t k,
+                     std::uint64_t num_nodes) {
+  return std::pow(m + 1.0, -static_cast<double>(k) / 2.0) +
+         1.0 / static_cast<double>(num_nodes);
+}
+
+double beta_expander(std::uint32_t m, double lambda,
+                     std::uint64_t num_nodes) {
+  ANTDENSE_CHECK(lambda >= 0.0 && lambda <= 1.0, "lambda must be in [0,1]");
+  return std::pow(lambda, static_cast<double>(m)) +
+         1.0 / static_cast<double>(num_nodes);
+}
+
+double beta_hypercube(std::uint32_t m, std::uint64_t num_nodes) {
+  const double decay =
+      m == 0 ? 1.0 : std::pow(0.9, static_cast<double>(m) - 1.0);
+  return decay + 1.0 / std::sqrt(static_cast<double>(num_nodes));
+}
+
+namespace {
+
+template <typename BetaFn>
+double accumulate_b(std::uint32_t t, BetaFn beta) {
+  double acc = 0.0;
+  for (std::uint32_t m = 0; m <= t; ++m) {
+    acc += beta(m);
+  }
+  return acc;
+}
+
+}  // namespace
+
+double b_torus2d(std::uint32_t t, std::uint64_t num_nodes) {
+  return accumulate_b(t, [&](std::uint32_t m) {
+    return beta_torus2d(m, num_nodes);
+  });
+}
+
+double b_ring(std::uint32_t t, std::uint64_t num_nodes) {
+  return accumulate_b(t,
+                      [&](std::uint32_t m) { return beta_ring(m, num_nodes); });
+}
+
+double b_torus_kd(std::uint32_t t, std::uint32_t k, std::uint64_t num_nodes) {
+  return accumulate_b(t, [&](std::uint32_t m) {
+    return beta_torus_kd(m, k, num_nodes);
+  });
+}
+
+double b_expander(std::uint32_t t, double lambda, std::uint64_t num_nodes) {
+  return accumulate_b(t, [&](std::uint32_t m) {
+    return beta_expander(m, lambda, num_nodes);
+  });
+}
+
+double b_hypercube(std::uint32_t t, std::uint64_t num_nodes) {
+  return accumulate_b(t, [&](std::uint32_t m) {
+    return beta_hypercube(m, num_nodes);
+  });
+}
+
+double theorem1_epsilon(std::uint32_t t, double density, double delta,
+                        double constant) {
+  ANTDENSE_CHECK(t >= 1, "t must be >= 1");
+  check_density(density);
+  check_delta(delta);
+  return constant * std::sqrt(std::log(1.0 / delta) / (t * density)) *
+         std::log(2.0 * t);
+}
+
+std::uint64_t theorem1_rounds(double epsilon, double density, double delta,
+                              double constant) {
+  check_epsilon(epsilon);
+  check_density(density);
+  check_delta(delta);
+  const double log_inv_delta = std::log(1.0 / delta);
+  const double loglog = std::log(std::max(std::exp(1.0), log_inv_delta));
+  const double log_term = loglog + std::log(1.0 / (density * epsilon));
+  const double rounds = constant * log_inv_delta * log_term * log_term /
+                        (density * epsilon * epsilon);
+  return static_cast<std::uint64_t>(std::ceil(rounds));
+}
+
+double lemma19_epsilon(std::uint32_t t, double density, double delta,
+                       double b_of_t, double constant) {
+  ANTDENSE_CHECK(t >= 1, "t must be >= 1");
+  check_density(density);
+  check_delta(delta);
+  ANTDENSE_CHECK(b_of_t > 0.0, "B(t) must be positive");
+  return constant * b_of_t * std::sqrt(std::log(1.0 / delta) / (t * density));
+}
+
+double theorem21_epsilon_ring(std::uint32_t t, double density, double delta,
+                              double constant) {
+  ANTDENSE_CHECK(t >= 1, "t must be >= 1");
+  check_density(density);
+  check_delta(delta);
+  return constant * std::sqrt(1.0 / (std::sqrt(static_cast<double>(t)) *
+                                     density * delta));
+}
+
+std::uint64_t theorem21_rounds_ring(double epsilon, double density,
+                                    double delta, double constant) {
+  check_epsilon(epsilon);
+  check_density(density);
+  check_delta(delta);
+  const double base = 1.0 / (density * epsilon * epsilon * delta);
+  return static_cast<std::uint64_t>(std::ceil(constant * base * base));
+}
+
+double independent_sampling_epsilon(std::uint32_t t, double density,
+                                    double delta) {
+  ANTDENSE_CHECK(t >= 1, "t must be >= 1");
+  check_density(density);
+  check_delta(delta);
+  return std::sqrt(6.0 * std::log(2.0 / delta) / (t * density));
+}
+
+std::uint64_t independent_sampling_rounds(double epsilon, double density,
+                                          double delta) {
+  check_epsilon(epsilon);
+  check_density(density);
+  check_delta(delta);
+  return static_cast<std::uint64_t>(std::ceil(
+      3.0 * std::log(2.0 / delta) / (density * epsilon * epsilon)));
+}
+
+double theorem27_n2t(double epsilon, double delta, double b_of_t,
+                     double avg_degree, std::uint64_t num_vertices) {
+  check_epsilon(epsilon);
+  check_delta(delta);
+  ANTDENSE_CHECK(b_of_t >= 0.0, "B(t) must be non-negative");
+  ANTDENSE_CHECK(avg_degree > 0.0, "average degree must be positive");
+  return (b_of_t * avg_degree + 1.0) / (epsilon * epsilon * delta) *
+         static_cast<double>(num_vertices);
+}
+
+double theorem27_epsilon(std::uint64_t n_walks, std::uint64_t t, double delta,
+                         double b_of_t, double avg_degree,
+                         std::uint64_t num_vertices) {
+  check_delta(delta);
+  ANTDENSE_CHECK(n_walks >= 2, "need at least two walks");
+  ANTDENSE_CHECK(t >= 1, "t must be >= 1");
+  const double n2t =
+      static_cast<double>(n_walks) * static_cast<double>(n_walks) *
+      static_cast<double>(t);
+  return std::sqrt((b_of_t * avg_degree + 1.0) *
+                   static_cast<double>(num_vertices) / (delta * n2t));
+}
+
+std::uint64_t theorem31_walks(double epsilon, double delta, double avg_degree,
+                              double min_degree) {
+  check_epsilon(epsilon);
+  check_delta(delta);
+  ANTDENSE_CHECK(min_degree > 0.0, "minimum degree must be positive");
+  ANTDENSE_CHECK(avg_degree >= min_degree,
+                 "average degree cannot be below the minimum degree");
+  return static_cast<std::uint64_t>(std::ceil(
+      (avg_degree / min_degree) / (epsilon * epsilon * delta)));
+}
+
+std::uint64_t burn_in_rounds(std::uint64_t num_edges, double delta,
+                             double lambda) {
+  check_delta(delta);
+  ANTDENSE_CHECK(lambda >= 0.0 && lambda < 1.0, "lambda must be in [0,1)");
+  ANTDENSE_CHECK(num_edges > 0, "graph must have edges");
+  return static_cast<std::uint64_t>(std::ceil(
+      std::log(static_cast<double>(num_edges) / delta) / (1.0 - lambda)));
+}
+
+}  // namespace antdense::core

@@ -1,0 +1,102 @@
+// Closed-form theory bounds from the paper, used as overlays and
+// planning helpers.
+//
+// All bounds are stated in the paper up to unspecified constants; the
+// functions here use constant 1 unless a `constant` parameter is given,
+// so benches report *shape* ratios (measured / theory), which should be
+// roughly flat across a sweep when the bound's dependence is right.
+#pragma once
+
+#include <cstdint>
+
+namespace antdense::core {
+
+// ---------------------------------------------------------------------------
+// Re-collision probability curves β(m) (Lemmas 4, 20, 22, 23, 25).
+// ---------------------------------------------------------------------------
+
+/// Lemma 4 (2-D torus): β(m) = 1/(m+1) + 1/A.
+double beta_torus2d(std::uint32_t m, std::uint64_t num_nodes);
+
+/// Lemma 20 (ring): β(m) = 1/sqrt(m+1) + 1/A.
+double beta_ring(std::uint32_t m, std::uint64_t num_nodes);
+
+/// Lemma 22 (k-dim torus): β(m) = 1/(m+1)^(k/2) + 1/A.
+double beta_torus_kd(std::uint32_t m, std::uint32_t k,
+                     std::uint64_t num_nodes);
+
+/// Lemma 23 (regular expander): β(m) = λ^m + 1/A.
+double beta_expander(std::uint32_t m, double lambda, std::uint64_t num_nodes);
+
+/// Lemma 25 (hypercube): β(m) = (9/10)^(m-1) + 1/sqrt(A).
+double beta_hypercube(std::uint32_t m, std::uint64_t num_nodes);
+
+// ---------------------------------------------------------------------------
+// B(t) = sum_{m=0..t} β(m) (Lemma 19's accumulated re-collision mass).
+// ---------------------------------------------------------------------------
+
+double b_torus2d(std::uint32_t t, std::uint64_t num_nodes);
+double b_ring(std::uint32_t t, std::uint64_t num_nodes);
+double b_torus_kd(std::uint32_t t, std::uint32_t k, std::uint64_t num_nodes);
+double b_expander(std::uint32_t t, double lambda, std::uint64_t num_nodes);
+double b_hypercube(std::uint32_t t, std::uint64_t num_nodes);
+
+// ---------------------------------------------------------------------------
+// Density estimation accuracy (Theorem 1, Lemma 19, Theorems 21 and 32).
+// ---------------------------------------------------------------------------
+
+/// Theorem 1 (first form): the ε achievable after t rounds at confidence
+/// 1-δ on the 2-D torus: ε = c1 * sqrt(log(1/δ)/(t d)) * log(2t).
+double theorem1_epsilon(std::uint32_t t, double density, double delta,
+                        double constant = 1.0);
+
+/// Theorem 1 (second form): rounds sufficient for (ε, δ) accuracy:
+/// t = c2 * log(1/δ) * [loglog(1/δ) + log(1/(dε))]^2 / (d ε²).
+std::uint64_t theorem1_rounds(double epsilon, double density, double delta,
+                              double constant = 1.0);
+
+/// Lemma 19 (general regular graph): ε = B(t) * sqrt(log(1/δ)/(t d)).
+double lemma19_epsilon(std::uint32_t t, double density, double delta,
+                       double b_of_t, double constant = 1.0);
+
+/// Theorem 21 (ring, Chebyshev analysis): ε = sqrt(1/(sqrt(t) d δ)).
+double theorem21_epsilon_ring(std::uint32_t t, double density, double delta,
+                              double constant = 1.0);
+
+/// Theorem 21 round bound: t = (1/(d ε² δ))².
+std::uint64_t theorem21_rounds_ring(double epsilon, double density,
+                                    double delta, double constant = 1.0);
+
+/// Theorem 32 / complete-graph Chernoff reference:
+/// ε = sqrt(6 log(2/δ) / (t d)) — the independent-sampling accuracy.
+double independent_sampling_epsilon(std::uint32_t t, double density,
+                                    double delta);
+
+/// Chernoff round bound for independent sampling: t = 3 log(2/δ)/(d ε²).
+std::uint64_t independent_sampling_rounds(double epsilon, double density,
+                                          double delta);
+
+// ---------------------------------------------------------------------------
+// Network size estimation (Theorems 27 and 31, Section 5.1).
+// ---------------------------------------------------------------------------
+
+/// Theorem 27: the n²t budget sufficient for (ε, δ):
+/// n²t = (B(t)·avg_deg + 1) / (ε² δ) * |V|.
+double theorem27_n2t(double epsilon, double delta, double b_of_t,
+                     double avg_degree, std::uint64_t num_vertices);
+
+/// Theorem 27 inverted: predicted ε for a given (n, t) budget.
+double theorem27_epsilon(std::uint64_t n_walks, std::uint64_t t, double delta,
+                         double b_of_t, double avg_degree,
+                         std::uint64_t num_vertices);
+
+/// Theorem 31: walks needed for average-degree estimation:
+/// n = (1/(ε² δ)) * (avg_deg / min_deg).
+std::uint64_t theorem31_walks(double epsilon, double delta, double avg_degree,
+                              double min_degree);
+
+/// Section 5.1.4 burn-in length: M = log(|E|/δ)/(1-λ).
+std::uint64_t burn_in_rounds(std::uint64_t num_edges, double delta,
+                             double lambda);
+
+}  // namespace antdense::core

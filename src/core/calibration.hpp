@@ -1,0 +1,52 @@
+// Sensor calibration for noisy collision detection (Section 6.1).
+//
+// The failure-injection experiments establish that detection noise
+// shifts the estimator linearly: E[d~_noisy] = (1 - p_miss)·d + s where
+// p_miss is the per-partner miss probability and s the per-round
+// spurious-detection probability.  An agent that knows its sensor rates
+// can therefore invert the estimate in closed form — this header is that
+// inverse, with the error-propagation helper for planning how much extra
+// accuracy the raw estimate needs.
+#pragma once
+
+#include "util/check.hpp"
+
+namespace antdense::core {
+
+struct NoiseModel {
+  double miss_probability = 0.0;      // per colliding partner
+  double spurious_probability = 0.0;  // per round
+
+  void validate() const {
+    ANTDENSE_CHECK(miss_probability >= 0.0 && miss_probability < 1.0,
+                   "miss probability must be in [0,1)");
+    ANTDENSE_CHECK(spurious_probability >= 0.0 &&
+                       spurious_probability < 1.0,
+                   "spurious probability must be in [0,1)");
+  }
+};
+
+/// Inverts the noise model: given a raw noisy encounter rate, returns
+/// the calibrated density estimate (clamped at 0: heavy spurious noise
+/// can push the inverse negative on short runs).
+inline double calibrate_estimate(double raw_estimate,
+                                 const NoiseModel& noise) {
+  noise.validate();
+  ANTDENSE_CHECK(raw_estimate >= 0.0, "estimate must be non-negative");
+  const double corrected = (raw_estimate - noise.spurious_probability) /
+                           (1.0 - noise.miss_probability);
+  return corrected < 0.0 ? 0.0 : corrected;
+}
+
+/// Error propagation: if the raw estimate carries absolute error e, the
+/// calibrated estimate carries e / (1 - p_miss).  Useful when planning
+/// the Theorem 1 round budget under known noise: request the raw run at
+/// eps_raw = eps_target * (1 - p_miss) * d / (d + s-ish slack).
+inline double calibrated_absolute_error(double raw_absolute_error,
+                                        const NoiseModel& noise) {
+  noise.validate();
+  ANTDENSE_CHECK(raw_absolute_error >= 0.0, "error must be non-negative");
+  return raw_absolute_error / (1.0 - noise.miss_probability);
+}
+
+}  // namespace antdense::core

@@ -1,0 +1,44 @@
+#include "core/confidence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace antdense::core {
+
+AgentInterval empirical_bernstein_interval(
+    const std::vector<std::uint32_t>& per_round_counts, double delta,
+    double correlation_inflation) {
+  ANTDENSE_CHECK(per_round_counts.size() >= 2,
+                 "need at least two rounds for a variance");
+  ANTDENSE_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  ANTDENSE_CHECK(correlation_inflation >= 1.0,
+                 "inflation factor must be >= 1");
+
+  const auto t = static_cast<double>(per_round_counts.size());
+  double sum = 0.0;
+  for (std::uint32_t x : per_round_counts) {
+    sum += x;
+  }
+  const double mean = sum / t;
+  double ss = 0.0;
+  for (std::uint32_t x : per_round_counts) {
+    const double d = x - mean;
+    ss += d * d;
+  }
+  const double variance = ss / (t - 1.0);
+
+  // Maurer & Pontil empirical-Bernstein half-width, inflated for the
+  // correlated-rounds regime.
+  const double log_term = std::log(3.0 / delta);
+  const double half = correlation_inflation *
+                      (std::sqrt(2.0 * variance * log_term / t) +
+                       3.0 * log_term / t);
+
+  AgentInterval out;
+  out.estimate = mean;
+  out.lower = std::max(0.0, mean - half);
+  out.upper = mean + half;
+  return out;
+}
+
+}  // namespace antdense::core

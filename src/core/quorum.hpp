@@ -1,0 +1,56 @@
+// Quorum sensing (Section 6.2) — the headline biological application.
+//
+// Temnothorax scouts commit to a nest site when the scout density there
+// crosses a threshold.  The detector wraps Theorem 1: to separate
+// d >= θ(1+γ) from d <= θ with probability 1-δ it suffices to estimate
+// with relative error ε = (γ/2)/(1+γ) and compare the estimate against
+// the midpoint threshold θ(1+γ/2).
+#pragma once
+
+#include <cstdint>
+
+#include "core/bounds.hpp"
+#include "util/check.hpp"
+
+namespace antdense::core {
+
+class QuorumDetector {
+ public:
+  /// threshold θ > 0: the density that constitutes a quorum;
+  /// gamma γ in (0,1): the separation gap — densities in (θ, θ(1+γ)) are
+  /// a "don't care" band;
+  /// delta: per-agent failure probability.
+  QuorumDetector(double threshold, double gamma, double delta)
+      : threshold_(threshold), gamma_(gamma), delta_(delta) {
+    ANTDENSE_CHECK(threshold > 0.0 && threshold < 1.0,
+                   "threshold must be in (0,1)");
+    ANTDENSE_CHECK(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0,1]");
+    ANTDENSE_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  }
+
+  /// The relative accuracy Theorem 1 must deliver: both
+  /// (1-ε)(1+γ) >= 1+γ/2 and (1+ε) <= 1+γ/2 hold for ε = (γ/2)/(1+γ).
+  double required_epsilon() const { return (gamma_ / 2.0) / (1.0 + gamma_); }
+
+  /// Round budget via Theorem 1, evaluated at the threshold density (the
+  /// hardest in-scope case: higher densities only collide more).
+  std::uint64_t required_rounds(double constant = 1.0) const {
+    return theorem1_rounds(required_epsilon(), threshold_, delta_, constant);
+  }
+
+  /// The decision rule applied to an Algorithm-1 estimate.
+  bool quorum_reached(double density_estimate) const {
+    return density_estimate >= threshold_ * (1.0 + gamma_ / 2.0);
+  }
+
+  double threshold() const { return threshold_; }
+  double gamma() const { return gamma_; }
+  double delta() const { return delta_; }
+
+ private:
+  double threshold_;
+  double gamma_;
+  double delta_;
+};
+
+}  // namespace antdense::core

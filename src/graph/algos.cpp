@@ -1,0 +1,123 @@
+#include "graph/algos.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace antdense::graph {
+
+namespace {
+constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                         Graph::vertex source) {
+  ANTDENSE_CHECK(source < g.num_vertices(), "source out of range");
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreached);
+  std::queue<Graph::vertex> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const Graph::vertex v = frontier.front();
+    frontier.pop();
+    for (Graph::vertex u : g.neighbors(v)) {
+      if (dist[u] == kUnreached) {
+        dist[u] = dist[v] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) {
+    return false;
+  }
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreached; });
+}
+
+std::uint32_t connected_component_count(const Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<bool> seen(n, false);
+  std::uint32_t components = 0;
+  for (Graph::vertex s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    ++components;
+    std::queue<Graph::vertex> frontier;
+    frontier.push(s);
+    seen[s] = true;
+    while (!frontier.empty()) {
+      const Graph::vertex v = frontier.front();
+      frontier.pop();
+      for (Graph::vertex u : g.neighbors(v)) {
+        if (!seen[u]) {
+          seen[u] = true;
+          frontier.push(u);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool is_bipartite(const Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<std::int8_t> color(n, -1);
+  for (Graph::vertex s = 0; s < n; ++s) {
+    if (color[s] != -1) continue;
+    color[s] = 0;
+    std::queue<Graph::vertex> frontier;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const Graph::vertex v = frontier.front();
+      frontier.pop();
+      for (Graph::vertex u : g.neighbors(v)) {
+        if (u == v) {
+          return false;  // self-loop
+        }
+        if (color[u] == -1) {
+          color[u] = static_cast<std::int8_t>(1 - color[v]);
+          frontier.push(u);
+        } else if (color[u] == color[v]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  ANTDENSE_CHECK(g.num_vertices() > 0, "empty graph");
+  ANTDENSE_CHECK(is_connected(g), "diameter requires a connected graph");
+  std::uint32_t best = 0;
+  for (Graph::vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (std::uint32_t d : dist) {
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  ANTDENSE_CHECK(g.num_vertices() > 0, "empty graph");
+  DegreeStats s;
+  s.min = g.min_degree();
+  s.max = g.max_degree();
+  s.mean = g.average_degree();
+  double acc = 0.0;
+  for (Graph::vertex v = 0; v < g.num_vertices(); ++v) {
+    const double d = g.degree(v) - s.mean;
+    acc += d * d;
+  }
+  s.variance = acc / g.num_vertices();
+  return s;
+}
+
+}  // namespace antdense::graph

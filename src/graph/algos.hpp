@@ -1,0 +1,38 @@
+// Classical graph algorithms used for validation (connectivity and
+// bipartiteness checks before running estimators) and for test oracles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace antdense::graph {
+
+/// BFS distances from `source`; unreachable vertices get UINT32_MAX.
+std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                         Graph::vertex source);
+
+bool is_connected(const Graph& g);
+
+/// Number of connected components.
+std::uint32_t connected_component_count(const Graph& g);
+
+/// True when the graph is bipartite (2-colorable).  The paper notes the
+/// torus is bipartite, which zeroes odd-step re-collision probabilities;
+/// tests use this to pick the right parity when comparing curves.
+bool is_bipartite(const Graph& g);
+
+/// Exact diameter by BFS from every vertex.  O(V * E) — small graphs only.
+std::uint32_t diameter(const Graph& g);
+
+struct DegreeStats {
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+}  // namespace antdense::graph

@@ -1,0 +1,107 @@
+// Perturbed movement model (Section 6.1): a 2-D torus whose walkers pick
+// steps from a *non-uniform* distribution over
+// {+x, -x, +y, -y, stay}.  Models ants with directional drift or pauses.
+//
+// Key property the experiments probe: per-agent drift does not break the
+// uniform stationary marginals (each node still has in-probability equal
+// to out-probability under translation invariance), so Lemma 2's
+// unbiasedness survives; what changes is the *relative* walk between two
+// agents and hence the re-collision structure and variance.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "graph/topology.hpp"
+#include "graph/torus2d.hpp"
+#include "rng/random.hpp"
+#include "util/check.hpp"
+
+namespace antdense::graph {
+
+class BiasedTorus2D {
+ public:
+  using node_type = Torus2D::node_type;
+
+  /// probabilities: {+x, -x, +y, -y, stay}; must be non-negative and sum
+  /// to 1 (within 1e-9).
+  BiasedTorus2D(std::uint32_t width, std::uint32_t height,
+                const std::array<double, 5>& probabilities)
+      : base_(width, height), probs_(probabilities) {
+    double total = 0.0;
+    for (double p : probs_) {
+      ANTDENSE_CHECK(p >= 0.0, "step probabilities must be non-negative");
+      total += p;
+    }
+    ANTDENSE_CHECK(total > 1.0 - 1e-9 && total < 1.0 + 1e-9,
+                   "step probabilities must sum to 1");
+    cumulative_[0] = probs_[0];
+    for (int i = 1; i < 5; ++i) {
+      cumulative_[i] = cumulative_[i - 1] + probs_[i];
+    }
+  }
+
+  /// The paper's pure random walk: uniform over the four directions.
+  static BiasedTorus2D unbiased(std::uint32_t width, std::uint32_t height) {
+    return BiasedTorus2D(width, height, {0.25, 0.25, 0.25, 0.25, 0.0});
+  }
+
+  /// Drift: extra weight `drift` moved from -x onto +x.
+  static BiasedTorus2D with_drift(std::uint32_t width, std::uint32_t height,
+                                  double drift) {
+    ANTDENSE_CHECK(drift >= 0.0 && drift <= 0.25, "drift must be in [0,0.25]");
+    return BiasedTorus2D(width, height,
+                         {0.25 + drift, 0.25 - drift, 0.25, 0.25, 0.0});
+  }
+
+  /// Pause: probability `pause` of standing still, rest split evenly.
+  static BiasedTorus2D with_pause(std::uint32_t width, std::uint32_t height,
+                                  double pause) {
+    ANTDENSE_CHECK(pause >= 0.0 && pause < 1.0, "pause must be in [0,1)");
+    const double move = (1.0 - pause) / 4.0;
+    return BiasedTorus2D(width, height, {move, move, move, move, pause});
+  }
+
+  std::uint64_t num_nodes() const { return base_.num_nodes(); }
+  std::uint64_t degree() const { return 4; }
+  std::uint32_t width() const { return base_.width(); }
+  std::uint32_t height() const { return base_.height(); }
+  const std::array<double, 5>& step_probabilities() const { return probs_; }
+
+  template <rng::BitGenerator64 G>
+  node_type random_node(G& gen) const {
+    return base_.random_node(gen);
+  }
+
+  template <rng::BitGenerator64 G>
+  node_type random_neighbor(node_type u, G& gen) const {
+    const double r = rng::uniform_unit(gen);
+    for (int dir = 0; dir < 4; ++dir) {
+      if (r < cumulative_[dir]) {
+        return base_.step(u, dir);
+      }
+    }
+    return u;  // stay
+  }
+
+  std::uint64_t key(node_type u) const { return base_.key(u); }
+
+  template <typename Fn>
+  void for_each_neighbor(node_type u, Fn&& fn) const {
+    base_.for_each_neighbor(u, fn);
+  }
+
+  std::string name() const {
+    return "biased-" + base_.name();
+  }
+
+ private:
+  Torus2D base_;
+  std::array<double, 5> probs_;
+  std::array<double, 5> cumulative_ = {};
+};
+
+static_assert(Topology<BiasedTorus2D>);
+
+}  // namespace antdense::graph

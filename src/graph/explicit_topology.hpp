@@ -1,0 +1,69 @@
+// Adapter exposing any *regular* explicit Graph through the Topology
+// concept, so Algorithm 1 runs unchanged on random-regular expanders
+// (Section 4.4) or any crawled regular network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/topology.hpp"
+#include "rng/random.hpp"
+#include "util/check.hpp"
+
+namespace antdense::graph {
+
+class ExplicitTopology {
+ public:
+  using node_type = Graph::vertex;
+
+  /// Borrows the graph; the Graph must outlive the adapter.
+  explicit ExplicitTopology(const Graph& g, std::string label = "explicit")
+      : graph_(&g), label_(std::move(label)) {
+    std::uint32_t d = 0;
+    ANTDENSE_CHECK(g.is_regular(&d),
+                   "ExplicitTopology requires a regular graph");
+    ANTDENSE_CHECK(d >= 1, "graph must have positive degree");
+    degree_ = d;
+  }
+
+  std::uint64_t num_nodes() const { return graph_->num_vertices(); }
+  std::uint64_t degree() const { return degree_; }
+  const Graph& graph() const { return *graph_; }
+
+  template <rng::BitGenerator64 G>
+  node_type random_node(G& gen) const {
+    return static_cast<node_type>(
+        rng::uniform_below(gen, graph_->num_vertices()));
+  }
+
+  template <rng::BitGenerator64 G>
+  node_type random_neighbor(node_type u, G& gen) const {
+    const auto i =
+        static_cast<std::uint32_t>(rng::uniform_below(gen, degree_));
+    return graph_->neighbor(u, i);
+  }
+
+  std::uint64_t key(node_type u) const { return u; }
+
+  template <typename Fn>
+  void for_each_neighbor(node_type u, Fn&& fn) const {
+    for (node_type v : graph_->neighbors(u)) {
+      fn(v);
+    }
+  }
+
+  std::string name() const {
+    return label_ + "(" + std::to_string(num_nodes()) +
+           ",d=" + std::to_string(degree_) + ")";
+  }
+
+ private:
+  const Graph* graph_;
+  std::uint32_t degree_;
+  std::string label_;
+};
+
+static_assert(Topology<ExplicitTopology>);
+
+}  // namespace antdense::graph

@@ -1,0 +1,91 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace antdense::graph {
+
+Graph Graph::from_edges(
+    std::uint32_t num_vertices,
+    const std::vector<std::pair<vertex, vertex>>& edges) {
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ANTDENSE_CHECK(u < num_vertices && v < num_vertices,
+                   "edge endpoint out of range");
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.resize(g.offsets_.back());
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(),
+                                    g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  // Sorted adjacency makes neighborhood membership tests and tests'
+  // comparisons deterministic.
+  for (std::uint32_t v = 0; v < num_vertices; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() +
+                  static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  g.num_edges_ = edges.size();
+  return g;
+}
+
+bool Graph::is_regular(std::uint32_t* out_degree) const {
+  const std::uint32_t n = num_vertices();
+  if (n == 0) {
+    return false;
+  }
+  const std::uint32_t d = degree(0);
+  for (vertex v = 1; v < n; ++v) {
+    if (degree(v) != d) {
+      return false;
+    }
+  }
+  if (out_degree != nullptr) {
+    *out_degree = d;
+  }
+  return true;
+}
+
+std::uint32_t Graph::min_degree() const {
+  ANTDENSE_CHECK(num_vertices() > 0, "empty graph");
+  std::uint32_t best = degree(0);
+  for (vertex v = 1; v < num_vertices(); ++v) {
+    best = std::min(best, degree(v));
+  }
+  return best;
+}
+
+std::uint32_t Graph::max_degree() const {
+  ANTDENSE_CHECK(num_vertices() > 0, "empty graph");
+  std::uint32_t best = degree(0);
+  for (vertex v = 1; v < num_vertices(); ++v) {
+    best = std::max(best, degree(v));
+  }
+  return best;
+}
+
+double Graph::average_degree() const {
+  ANTDENSE_CHECK(num_vertices() > 0, "empty graph");
+  return static_cast<double>(adjacency_.size()) /
+         static_cast<double>(num_vertices());
+}
+
+std::uint64_t Graph::sum_degree_squared() const {
+  std::uint64_t acc = 0;
+  for (vertex v = 0; v < num_vertices(); ++v) {
+    const std::uint64_t d = degree(v);
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace antdense::graph

@@ -1,0 +1,70 @@
+// Explicit undirected graph in compressed-sparse-row form.
+//
+// This is the substrate for Section 4.4 (regular expanders run through
+// Algorithm 1) and Section 5.1 (network size estimation over graphs we
+// can only crawl by neighborhood queries).  Vertices are dense uint32
+// ids; parallel edges and self-loops are permitted (the configuration
+// model can produce them) but the generators avoid them unless asked.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace antdense::graph {
+
+class Graph {
+ public:
+  using vertex = std::uint32_t;
+
+  Graph() = default;
+
+  /// Builds from an undirected edge list over vertices [0, num_vertices).
+  /// Each pair {u, v} contributes v to u's adjacency and u to v's.
+  static Graph from_edges(std::uint32_t num_vertices,
+                          const std::vector<std::pair<vertex, vertex>>& edges);
+
+  std::uint32_t num_vertices() const {
+    return offsets_.empty()
+               ? 0
+               : static_cast<std::uint32_t>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges (self-loop counts once).
+  std::uint64_t num_edges() const { return num_edges_; }
+
+  std::uint32_t degree(vertex v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  std::span<const vertex> neighbors(vertex v) const {
+    return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// The i-th neighbor of v, 0 <= i < degree(v).
+  vertex neighbor(vertex v, std::uint32_t i) const {
+    return adjacency_[offsets_[v] + i];
+  }
+
+  /// True when every vertex has the same degree (and the graph is
+  /// non-empty); that shared degree is returned through *out if non-null.
+  bool is_regular(std::uint32_t* out_degree = nullptr) const;
+
+  std::uint32_t min_degree() const;
+  std::uint32_t max_degree() const;
+  /// 2|E| / |V|.
+  double average_degree() const;
+
+  /// Sum over vertices of degree^2 — the [KLSC14] baseline's key
+  /// quantity.
+  std::uint64_t sum_degree_squared() const;
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // size |V|+1
+  std::vector<vertex> adjacency_;       // size 2|E| (self-loop appears twice)
+  std::uint64_t num_edges_ = 0;
+};
+
+}  // namespace antdense::graph

@@ -1,0 +1,18 @@
+#include "graph/torus2d.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace antdense::graph {
+
+std::uint64_t Torus2D::l1_distance(node_type a, node_type b) const {
+  const auto wrap_dist = [](std::uint32_t p, std::uint32_t q,
+                            std::uint32_t side) {
+    const std::uint32_t d = p > q ? p - q : q - p;
+    return std::min(d, side - d);
+  };
+  return static_cast<std::uint64_t>(wrap_dist(x_of(a), x_of(b), width_)) +
+         wrap_dist(y_of(a), y_of(b), height_);
+}
+
+}  // namespace antdense::graph

@@ -1,0 +1,57 @@
+#include "netsize/degree_estimator.hpp"
+
+#include "netsize/link_query_graph.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "util/check.hpp"
+
+namespace antdense::netsize {
+
+using graph::Graph;
+
+double estimate_average_degree_from_positions(
+    const Graph& g, const std::vector<Graph::vertex>& positions) {
+  ANTDENSE_CHECK(!positions.empty(), "need at least one position");
+  double inv_sum = 0.0;
+  for (Graph::vertex v : positions) {
+    const std::uint32_t d = g.degree(v);
+    ANTDENSE_CHECK(d > 0, "isolated vertex in sample");
+    inv_sum += 1.0 / static_cast<double>(d);
+  }
+  const double mean_inv = inv_sum / static_cast<double>(positions.size());
+  return 1.0 / mean_inv;
+}
+
+DegreeEstimationResult estimate_average_degree(const Graph& g,
+                                               std::uint32_t num_samples,
+                                               bool start_stationary,
+                                               std::uint32_t burn_in,
+                                               Graph::vertex seed_vertex,
+                                               std::uint64_t seed) {
+  ANTDENSE_CHECK(num_samples >= 1, "need at least one sample");
+  ANTDENSE_CHECK(seed_vertex < g.num_vertices(), "seed vertex out of range");
+  rng::Xoshiro256pp gen(rng::derive_seed(seed, 0xDE6u));
+  std::vector<Graph::vertex> positions(num_samples);
+  if (start_stationary) {
+    const StationarySampler sampler(g);
+    for (auto& p : positions) {
+      p = sampler.sample(gen);
+    }
+  } else {
+    LinkQueryGraph access(g);
+    for (auto& p : positions) {
+      p = seed_vertex;
+      for (std::uint32_t s = 0; s < burn_in; ++s) {
+        p = access.random_neighbor(p, gen);
+      }
+    }
+  }
+  DegreeEstimationResult out;
+  out.samples = num_samples;
+  out.average_degree_estimate =
+      estimate_average_degree_from_positions(g, positions);
+  out.inverse_degree_mean = 1.0 / out.average_degree_estimate;
+  return out;
+}
+
+}  // namespace antdense::netsize

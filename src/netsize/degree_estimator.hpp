@@ -1,0 +1,36 @@
+// Algorithm 3 — average degree estimation by inverse-degree sampling.
+//
+// With walks in the stationary distribution, E[1/deg(w)] = |V|/2|E| =
+// 1/avg_deg, so the sample mean of inverse degrees estimates 1/avg_deg.
+// Theorem 31: n = Θ((1/ε²δ) · avg_deg/min_deg) samples suffice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace antdense::netsize {
+
+struct DegreeEstimationResult {
+  double inverse_degree_mean = 0.0;    // D = (1/n) sum 1/deg(w_j)
+  double average_degree_estimate = 0.0;  // 1/D
+  std::uint32_t samples = 0;
+};
+
+/// Algorithm 3 over explicit positions (e.g. walker locations after
+/// burn-in).  Returns the average-degree estimate computed from their
+/// degrees.  This is the value Algorithm 2 consumes when it is not given
+/// the exact average degree.
+double estimate_average_degree_from_positions(
+    const graph::Graph& g, const std::vector<graph::Graph::vertex>& positions);
+
+/// Full Algorithm 3: draws `num_samples` vertices from the exact
+/// stationary distribution (idealized mode) or via burn-in walks from
+/// `seed_vertex`, then averages inverse degrees.
+DegreeEstimationResult estimate_average_degree(
+    const graph::Graph& g, std::uint32_t num_samples, bool start_stationary,
+    std::uint32_t burn_in, graph::Graph::vertex seed_vertex,
+    std::uint64_t seed);
+
+}  // namespace antdense::netsize

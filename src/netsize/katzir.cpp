@@ -1,0 +1,64 @@
+#include "netsize/katzir.hpp"
+
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "netsize/link_query_graph.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "util/check.hpp"
+
+namespace antdense::netsize {
+
+using graph::Graph;
+
+KatzirResult katzir_estimate(const Graph& g, const KatzirConfig& cfg,
+                             std::uint64_t seed) {
+  ANTDENSE_CHECK(cfg.num_walks >= 2, "Katzir estimator needs >= 2 walks");
+  ANTDENSE_CHECK(cfg.seed_vertex < g.num_vertices(),
+                 "seed vertex out of range");
+
+  LinkQueryGraph access(g);
+  rng::Xoshiro256pp gen(rng::derive_seed(seed, 0x4A72u));
+  std::vector<Graph::vertex> finals(cfg.num_walks);
+  if (cfg.start_stationary) {
+    const StationarySampler sampler(g);
+    for (auto& v : finals) {
+      v = sampler.sample(gen);
+    }
+  } else {
+    for (auto& v : finals) {
+      v = cfg.seed_vertex;
+      for (std::uint32_t s = 0; s < cfg.burn_in; ++s) {
+        v = access.random_neighbor(v, gen);
+      }
+    }
+  }
+
+  double sum_deg = 0.0;
+  double sum_inv_deg = 0.0;
+  std::unordered_map<Graph::vertex, std::uint64_t> occupancy;
+  occupancy.reserve(static_cast<std::size_t>(cfg.num_walks) * 2);
+  for (Graph::vertex v : finals) {
+    const double d = g.degree(v);
+    sum_deg += d;
+    sum_inv_deg += 1.0 / d;
+    ++occupancy[v];
+  }
+  std::uint64_t pairs = 0;
+  for (const auto& [v, count] : occupancy) {
+    pairs += count * (count - 1) / 2;
+  }
+
+  KatzirResult out;
+  out.colliding_pairs = pairs;
+  out.link_queries = access.query_count();
+  out.saw_collision = pairs > 0;
+  out.size_estimate =
+      pairs > 0 ? sum_deg * sum_inv_deg / (2.0 * static_cast<double>(pairs))
+                : std::numeric_limits<double>::infinity();
+  return out;
+}
+
+}  // namespace antdense::netsize

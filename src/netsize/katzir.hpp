@@ -1,0 +1,39 @@
+// The [KLSC14] (Katzir, Liberty, Somekh, Cosma) baseline that Section
+// 5.1.5 compares against: run R walks to stationarity, *halt*, and
+// estimate size from the one-shot collision statistics of the final
+// positions (a degree-corrected birthday-paradox estimator):
+//
+//     Ã = (Σ_i deg(x_i)) · (Σ_i 1/deg(x_i)) / (2 · #colliding pairs).
+//
+// Every query budget goes into burn-in (R·M queries); the paper's
+// algorithm instead amortizes burn-in over t post-burn-in counting
+// rounds, which wins when mixing is slow.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace antdense::netsize {
+
+struct KatzirConfig {
+  std::uint32_t num_walks = 0;
+  std::uint32_t burn_in = 0;
+  graph::Graph::vertex seed_vertex = 0;
+  /// Idealized mode: sample final positions directly from the stationary
+  /// distribution (costs 0 queries; isolates estimator quality from
+  /// burn-in quality).
+  bool start_stationary = false;
+};
+
+struct KatzirResult {
+  double size_estimate = 0.0;  // +inf when no collisions observed
+  std::uint64_t colliding_pairs = 0;
+  std::uint64_t link_queries = 0;
+  bool saw_collision = false;
+};
+
+KatzirResult katzir_estimate(const graph::Graph& g, const KatzirConfig& cfg,
+                             std::uint64_t seed);
+
+}  // namespace antdense::netsize

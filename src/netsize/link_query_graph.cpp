@@ -1,0 +1,18 @@
+#include "netsize/link_query_graph.hpp"
+
+namespace antdense::netsize {
+
+StationarySampler::StationarySampler(const graph::Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  ANTDENSE_CHECK(n > 0, "empty graph");
+  prefix_.resize(n);
+  std::uint64_t acc = 0;
+  for (graph::Graph::vertex v = 0; v < n; ++v) {
+    prefix_[v] = acc;
+    acc += g.degree(v);
+  }
+  total_slots_ = acc;
+  ANTDENSE_CHECK(total_slots_ > 0, "graph has no edges");
+}
+
+}  // namespace antdense::netsize

@@ -1,0 +1,81 @@
+// The Section 5.1 access model: the graph can only be explored by
+// neighborhood ("link") queries, and link queries are the cost unit the
+// paper's comparison with [KLSC14] is measured in.
+//
+// Cost convention (matching Section 5.1.5's n(M+t) accounting): each
+// random-walk *step* costs one query — stepping to a vertex fetches its
+// neighbor list, so reading the current vertex's degree is free once you
+// are standing on it.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "rng/random.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "util/check.hpp"
+
+namespace antdense::netsize {
+
+class LinkQueryGraph {
+ public:
+  using vertex = graph::Graph::vertex;
+
+  explicit LinkQueryGraph(const graph::Graph& g) : graph_(&g) {
+    ANTDENSE_CHECK(g.num_vertices() > 0, "empty graph");
+  }
+
+  /// Degree of the vertex the walker is standing on — free (the neighbor
+  /// list was fetched by the step that got us here).
+  std::uint32_t degree(vertex v) const { return graph_->degree(v); }
+
+  /// One random-walk step: costs one link query.
+  template <rng::BitGenerator64 G>
+  vertex random_neighbor(vertex v, G& gen) {
+    ++queries_;
+    const std::uint32_t d = graph_->degree(v);
+    ANTDENSE_CHECK(d > 0, "walk reached an isolated vertex");
+    return graph_->neighbor(
+        v, static_cast<std::uint32_t>(rng::uniform_below(gen, d)));
+  }
+
+  std::uint64_t query_count() const { return queries_; }
+  void reset_query_count() { queries_ = 0; }
+
+  const graph::Graph& graph() const { return *graph_; }
+
+ private:
+  const graph::Graph* graph_;
+  std::uint64_t queries_ = 0;
+};
+
+/// Degree-proportional (stationary-distribution) vertex sampling for the
+/// idealized analyses: a uniformly random adjacency slot's owner is a
+/// degree-proportional vertex.  O(log V) per sample after O(V) setup.
+class StationarySampler {
+ public:
+  explicit StationarySampler(const graph::Graph& g);
+
+  template <rng::BitGenerator64 G>
+  graph::Graph::vertex sample(G& gen) const {
+    const std::uint64_t slot = rng::uniform_below(gen, total_slots_);
+    // Find the owner: the largest v with prefix_[v] <= slot.
+    std::uint32_t lo = 0;
+    std::uint32_t hi = static_cast<std::uint32_t>(prefix_.size()) - 1;
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo + 1) / 2;
+      if (prefix_[mid] <= slot) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<std::uint64_t> prefix_;  // prefix_[v] = sum of degrees < v
+  std::uint64_t total_slots_ = 0;
+};
+
+}  // namespace antdense::netsize

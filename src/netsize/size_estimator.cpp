@@ -1,0 +1,116 @@
+#include "netsize/size_estimator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "netsize/degree_estimator.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "util/check.hpp"
+
+namespace antdense::netsize {
+
+using graph::Graph;
+
+void SizeEstimationConfig::validate() const {
+  ANTDENSE_CHECK(num_walks >= 2, "Algorithm 2 needs at least two walks");
+  ANTDENSE_CHECK(rounds >= 1, "Algorithm 2 needs at least one round");
+}
+
+SizeEstimationResult estimate_network_size(const Graph& g,
+                                           const SizeEstimationConfig& cfg,
+                                           std::uint64_t seed) {
+  cfg.validate();
+  ANTDENSE_CHECK(cfg.seed_vertex < g.num_vertices(),
+                 "seed vertex out of range");
+
+  LinkQueryGraph access(g);
+  rng::Xoshiro256pp gen(rng::derive_seed(seed, 0x512Eu));
+  const std::uint32_t n = cfg.num_walks;
+
+  // --- Placement: exact stationary sample or crawl-style burn-in. ---
+  std::vector<Graph::vertex> walkers(n);
+  if (cfg.start_stationary) {
+    const StationarySampler sampler(g);
+    for (auto& w : walkers) {
+      w = sampler.sample(gen);
+    }
+  } else {
+    for (auto& w : walkers) {
+      w = cfg.seed_vertex;
+      for (std::uint32_t s = 0; s < cfg.burn_in; ++s) {
+        w = access.random_neighbor(w, gen);
+      }
+    }
+  }
+
+  // --- Average degree: caller-provided or Algorithm 3 on the starts. ---
+  double avg_degree = cfg.average_degree;
+  if (avg_degree <= 0.0) {
+    avg_degree = estimate_average_degree_from_positions(g, walkers);
+  }
+
+  // --- Algorithm 2's main loop. ---
+  std::vector<double> weighted_counts(n, 0.0);
+  std::unordered_map<Graph::vertex, std::uint32_t> occupancy;
+  occupancy.reserve(static_cast<std::size_t>(n) * 2);
+  for (std::uint32_t r = 0; r < cfg.rounds; ++r) {
+    occupancy.clear();
+    for (auto& w : walkers) {
+      w = access.random_neighbor(w, gen);
+      ++occupancy[w];
+    }
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const std::uint32_t occ = occupancy[walkers[j]];
+      if (occ > 1) {
+        weighted_counts[j] += static_cast<double>(occ - 1) /
+                              static_cast<double>(g.degree(walkers[j]));
+      }
+    }
+  }
+
+  double total = 0.0;
+  for (double c : weighted_counts) {
+    total += c;
+  }
+
+  SizeEstimationResult result;
+  result.average_degree_used = avg_degree;
+  result.link_queries = access.query_count();
+  result.saw_collision = total > 0.0;
+  result.collision_statistic =
+      avg_degree * total /
+      (static_cast<double>(n) * static_cast<double>(n - 1) *
+       static_cast<double>(cfg.rounds));
+  result.size_estimate =
+      result.saw_collision ? 1.0 / result.collision_statistic
+                           : std::numeric_limits<double>::infinity();
+  return result;
+}
+
+SizeEstimationResult estimate_network_size_median(
+    const Graph& g, const SizeEstimationConfig& cfg,
+    std::uint32_t repetitions, std::uint64_t seed) {
+  ANTDENSE_CHECK(repetitions >= 1, "need at least one repetition");
+  std::vector<SizeEstimationResult> runs;
+  runs.reserve(repetitions);
+  for (std::uint32_t r = 0; r < repetitions; ++r) {
+    runs.push_back(estimate_network_size(g, cfg, rng::derive_seed(seed, r)));
+  }
+  std::vector<double> sizes;
+  std::uint64_t queries = 0;
+  for (const auto& run : runs) {
+    sizes.push_back(run.size_estimate);
+    queries += run.link_queries;
+  }
+  std::sort(sizes.begin(), sizes.end());
+  SizeEstimationResult out = runs[runs.size() / 2];
+  out.size_estimate = sizes[sizes.size() / 2];
+  out.link_queries = queries;
+  out.saw_collision =
+      out.size_estimate != std::numeric_limits<double>::infinity();
+  return out;
+}
+
+}  // namespace antdense::netsize

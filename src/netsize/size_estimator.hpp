@@ -1,0 +1,59 @@
+// Algorithm 2 — random-walk-based network size estimation (Section 5.1).
+//
+// n walks run for t rounds after burn-in; in each round every walker adds
+// count(w_j)/deg(w_j) to its collision tally (collisions at high-degree
+// vertices are down-weighted because the stationary distribution visits
+// them more).  The degree-weighted collision rate
+//     C = avg_deg * sum_j c_j / (n(n-1)t)
+// has expectation 1/|V| (Lemma 28), so Ã = 1/C estimates the network
+// size.  Theorem 27: n²t = Θ((B(t)·avg_deg + 1)|V| / (ε²δ)) suffices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "netsize/link_query_graph.hpp"
+
+namespace antdense::netsize {
+
+struct SizeEstimationConfig {
+  std::uint32_t num_walks = 0;
+  std::uint32_t rounds = 0;  // the t of Algorithm 2
+  /// Burn-in steps before counting; ignored when start_stationary.
+  std::uint32_t burn_in = 0;
+  /// All walks start at this vertex when burning in (the paper's "seed
+  /// vertex" crawl model).
+  graph::Graph::vertex seed_vertex = 0;
+  /// Idealized mode: start walks i.i.d. from the exact stationary
+  /// distribution (Theorem 27's hypothesis) instead of burn-in.
+  bool start_stationary = false;
+  /// Average degree input to Algorithm 2; <= 0 means "estimate it with
+  /// Algorithm 3 from the walk starting positions".
+  double average_degree = 0.0;
+
+  void validate() const;
+};
+
+struct SizeEstimationResult {
+  double size_estimate = 0.0;       // Ã = 1/C; +inf when no collisions
+  double collision_statistic = 0.0;  // C
+  double average_degree_used = 0.0;
+  std::uint64_t link_queries = 0;
+  bool saw_collision = false;
+};
+
+/// Runs Algorithm 2 (optionally preceded by Algorithm 3 for the degree
+/// input).  Deterministic in `seed`.
+SizeEstimationResult estimate_network_size(const graph::Graph& g,
+                                           const SizeEstimationConfig& cfg,
+                                           std::uint64_t seed);
+
+/// Median-of-k amplification: the paper's remark that running log(1/δ)
+/// independent estimates at confidence 2/3 and returning the median
+/// boosts confidence to 1-δ with only logarithmic overhead.
+SizeEstimationResult estimate_network_size_median(
+    const graph::Graph& g, const SizeEstimationConfig& cfg,
+    std::uint32_t repetitions, std::uint64_t seed);
+
+}  // namespace antdense::netsize

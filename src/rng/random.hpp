@@ -1,0 +1,89 @@
+// Distribution helpers on top of a uniform bit generator.
+//
+// uniform_below uses Lemire's multiply-shift rejection method: unbiased,
+// one multiplication in the common case, no modulo in the hot loop.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace antdense::rng {
+
+template <typename G>
+concept BitGenerator64 = requires(G g) {
+  { g() } -> std::same_as<std::uint64_t>;
+};
+
+/// Unbiased uniform integer in [0, bound).  bound must be >= 1.
+template <BitGenerator64 G>
+inline std::uint64_t uniform_below(G& gen, std::uint64_t bound) {
+  // Lemire 2019, "Fast Random Integer Generation in an Interval".
+  std::uint64_t x = gen();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = gen();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+/// Uniform integer in [lo, hi] inclusive.
+template <BitGenerator64 G>
+inline std::int64_t uniform_int(G& gen, std::int64_t lo, std::int64_t hi) {
+  ANTDENSE_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_below(gen, span));
+}
+
+/// Uniform double in [0, 1) with 53 bits of precision.
+template <BitGenerator64 G>
+inline double uniform_unit(G& gen) {
+  return static_cast<double>(gen() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in [lo, hi).
+template <BitGenerator64 G>
+inline double uniform_real(G& gen, double lo, double hi) {
+  ANTDENSE_CHECK(lo < hi, "uniform_real requires lo < hi");
+  return lo + (hi - lo) * uniform_unit(gen);
+}
+
+/// Bernoulli trial with success probability p in [0, 1].
+template <BitGenerator64 G>
+inline bool bernoulli(G& gen, double p) {
+  return uniform_unit(gen) < p;
+}
+
+/// One unbiased coin flip.
+template <BitGenerator64 G>
+inline bool coin_flip(G& gen) {
+  return (gen() >> 63) != 0;
+}
+
+/// Fisher–Yates shuffle.
+template <BitGenerator64 G, typename T>
+inline void shuffle(G& gen, std::vector<T>& items) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::size_t j = uniform_below(gen, i);
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+/// Samples k distinct indices from [0, n) without replacement
+/// (Floyd's algorithm for k << n; falls back to partial shuffle).
+template <BitGenerator64 G>
+std::vector<std::uint64_t> sample_without_replacement(G& gen, std::uint64_t n,
+                                                      std::uint64_t k);
+
+}  // namespace antdense::rng
+
+#include "rng/random_impl.hpp"

@@ -1,0 +1,46 @@
+// Out-of-line template implementations for random.hpp.
+#pragma once
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace antdense::rng {
+
+template <BitGenerator64 G>
+std::vector<std::uint64_t> sample_without_replacement(G& gen, std::uint64_t n,
+                                                      std::uint64_t k) {
+  ANTDENSE_CHECK(k <= n, "cannot sample more items than the population");
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  if (k == 0) {
+    return out;
+  }
+  // For dense sampling a partial Fisher–Yates over an explicit index array
+  // is cheaper than rejection; for sparse sampling use Floyd's algorithm.
+  if (k * 4 >= n) {
+    std::vector<std::uint64_t> idx(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      idx[i] = i;
+    }
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const std::uint64_t j = i + uniform_below(gen, n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(k) * 2);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = uniform_below(gen, j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace antdense::rng

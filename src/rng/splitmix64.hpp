@@ -1,0 +1,55 @@
+// SplitMix64 generator (Steele, Lea, Flood 2014).
+//
+// Used in two roles:
+//   1. seeding xoshiro256++ state from a single 64-bit seed, and
+//   2. deriving independent child streams from (root seed, index...) so
+//      that every agent and every Monte Carlo trial gets reproducible,
+//      well-separated randomness regardless of thread scheduling.
+#pragma once
+
+#include <cstdint>
+
+namespace antdense::rng {
+
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  constexpr std::uint64_t operator()() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Hash-combines a root seed with stream indices into a new 64-bit seed.
+/// derive_seed(s, a, b) != derive_seed(s, b, a) by construction, and the
+/// avalanche properties of SplitMix64's mixer keep adjacent indices
+/// statistically independent.
+constexpr std::uint64_t derive_seed(std::uint64_t root) {
+  SplitMix64 mix(root);
+  return mix();
+}
+
+template <typename... Rest>
+constexpr std::uint64_t derive_seed(std::uint64_t root, std::uint64_t index,
+                                    Rest... rest) {
+  SplitMix64 mix(root ^ (index + 0x9E3779B97F4A7C15ULL));
+  std::uint64_t mixed = mix();
+  if constexpr (sizeof...(rest) == 0) {
+    return mixed;
+  } else {
+    return derive_seed(mixed, rest...);
+  }
+}
+
+}  // namespace antdense::rng

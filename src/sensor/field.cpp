@@ -1,0 +1,61 @@
+#include "sensor/field.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "rng/random.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "util/check.hpp"
+
+namespace antdense::sensor {
+
+using graph::Torus2D;
+
+SensorField::SensorField(const Torus2D& torus, std::vector<double> values)
+    : torus_(torus), values_(std::move(values)) {
+  ANTDENSE_CHECK(values_.size() == torus.num_nodes(),
+                 "field must have one value per node");
+  double acc = 0.0;
+  for (double v : values_) {
+    acc += v;
+  }
+  mean_ = acc / static_cast<double>(values_.size());
+}
+
+SensorField SensorField::bernoulli(const Torus2D& torus, double p,
+                                   std::uint64_t seed) {
+  ANTDENSE_CHECK(p >= 0.0 && p <= 1.0, "p must be in [0,1]");
+  rng::Xoshiro256pp gen(rng::derive_seed(seed, 0xF1E1Du));
+  std::vector<double> values(torus.num_nodes());
+  for (double& v : values) {
+    v = rng::bernoulli(gen, p) ? 1.0 : 0.0;
+  }
+  return SensorField(torus, std::move(values));
+}
+
+SensorField SensorField::uniform(const Torus2D& torus, double lo, double hi,
+                                 std::uint64_t seed) {
+  rng::Xoshiro256pp gen(rng::derive_seed(seed, 0xF1E2Du));
+  std::vector<double> values(torus.num_nodes());
+  for (double& v : values) {
+    v = rng::uniform_real(gen, lo, hi);
+  }
+  return SensorField(torus, std::move(values));
+}
+
+SensorField SensorField::gradient(const Torus2D& torus) {
+  std::vector<double> values(torus.num_nodes());
+  const double two_pi = 2.0 * std::numbers::pi;
+  for (std::uint32_t y = 0; y < torus.height(); ++y) {
+    for (std::uint32_t x = 0; x < torus.width(); ++x) {
+      const double phase_x = two_pi * x / torus.width();
+      const double phase_y = two_pi * y / torus.height();
+      values[torus.key(Torus2D::pack(x, y))] =
+          1.0 + 0.5 * std::sin(phase_x) + 0.5 * std::cos(phase_y);
+    }
+  }
+  return SensorField(torus, std::move(values));
+}
+
+}  // namespace antdense::sensor

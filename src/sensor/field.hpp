@@ -1,0 +1,43 @@
+// Synthetic sensor fields over the 2-D torus (Section 6.3.1's setting:
+// a grid communication network of sensors, each holding a measurement).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/torus2d.hpp"
+
+namespace antdense::sensor {
+
+/// A scalar value per torus node.
+class SensorField {
+ public:
+  SensorField(const graph::Torus2D& torus, std::vector<double> values);
+
+  double value(graph::Torus2D::node_type node) const {
+    return values_[torus_.key(node)];
+  }
+
+  double mean() const { return mean_; }
+  const graph::Torus2D& torus() const { return torus_; }
+
+  /// i.i.d. Bernoulli(p) field — "fraction of sensors that recorded the
+  /// condition" (the paper's density special case: indicator values).
+  static SensorField bernoulli(const graph::Torus2D& torus, double p,
+                               std::uint64_t seed);
+
+  /// i.i.d. uniform values in [lo, hi) — general data aggregation.
+  static SensorField uniform(const graph::Torus2D& torus, double lo,
+                             double hi, std::uint64_t seed);
+
+  /// Smooth deterministic gradient (sinusoidal in both axes) — spatially
+  /// *correlated* values, the regime where repeat visits hurt most.
+  static SensorField gradient(const graph::Torus2D& torus);
+
+ private:
+  graph::Torus2D torus_;
+  std::vector<double> values_;
+  double mean_ = 0.0;
+};
+
+}  // namespace antdense::sensor

@@ -1,0 +1,34 @@
+// Random-walk sensor sampling (Section 6.3.1).
+//
+// A query token walks the sensor grid, averaging the values it observes
+// — *without* tracking which sensors it already visited.  The paper's
+// visit moment bounds (Corollary 15) predict that the repeat-visit
+// penalty is only logarithmic on the grid, so the naive token should be
+// close to:
+//   - the dedup variant (remembers visited sensors — the costly version
+//     the paper argues is unnecessary), and
+//   - independent sampling (the idealized reference).
+#pragma once
+
+#include <cstdint>
+
+#include "sensor/field.hpp"
+
+namespace antdense::sensor {
+
+struct TokenSamplingResult {
+  double walk_estimate = 0.0;         // mean over all t observations
+  double dedup_estimate = 0.0;        // mean over first visits only
+  double independent_estimate = 0.0;  // mean of t i.i.d. node samples
+  std::uint32_t unique_sensors = 0;   // distinct sensors the token saw
+  std::uint32_t steps = 0;
+};
+
+/// One token walk of `steps` steps from a uniformly random start, plus
+/// the dedup and independent-sampling references computed on the same
+/// field.  Deterministic in `seed`.
+TokenSamplingResult run_token_sampling(const SensorField& field,
+                                       std::uint32_t steps,
+                                       std::uint64_t seed);
+
+}  // namespace antdense::sensor

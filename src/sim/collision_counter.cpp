@@ -1,0 +1,66 @@
+#include "sim/collision_counter.hpp"
+
+#include <bit>
+
+namespace antdense::sim {
+
+CollisionCounter::CollisionCounter(std::size_t max_occupancy)
+    : max_occupancy_(max_occupancy) {
+  ANTDENSE_CHECK(max_occupancy >= 1, "counter needs capacity for >= 1 agent");
+  const std::size_t wanted = std::bit_ceil(max_occupancy * 4);
+  slots_.resize(wanted < 16 ? 16 : wanted);
+  mask_ = slots_.size() - 1;
+}
+
+void CollisionCounter::begin_round() {
+  ++epoch_;
+  if (epoch_ == 0) {
+    // Epoch counter wrapped (after 2^32 rounds): hard-reset tags so stale
+    // slots cannot alias the new epoch 1.
+    for (Slot& s : slots_) {
+      s.epoch = 0;
+    }
+    epoch_ = 1;
+  }
+  inserted_this_round_ = 0;
+}
+
+std::uint32_t CollisionCounter::add(std::uint64_t key) {
+  ANTDENSE_CHECK(epoch_ != 0, "begin_round() must be called before add()");
+  std::uint64_t i = mix(key) & mask_;
+  while (true) {
+    Slot& s = slots_[i];
+    if (s.epoch != epoch_) {
+      ANTDENSE_ASSERT(inserted_this_round_ < max_occupancy_,
+                      "more distinct keys than declared max occupancy");
+      s.key = key;
+      s.epoch = epoch_;
+      s.count = 1;
+      ++inserted_this_round_;
+      return 1;
+    }
+    if (s.key == key) {
+      return ++s.count;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+std::uint32_t CollisionCounter::occupancy(std::uint64_t key) const {
+  if (epoch_ == 0) {
+    return 0;
+  }
+  std::uint64_t i = mix(key) & mask_;
+  while (true) {
+    const Slot& s = slots_[i];
+    if (s.epoch != epoch_) {
+      return 0;
+    }
+    if (s.key == key) {
+      return s.count;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+}  // namespace antdense::sim

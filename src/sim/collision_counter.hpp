@@ -1,0 +1,59 @@
+// Per-round node-occupancy counter: the engine's implementation of the
+// paper's count(position) primitive.
+//
+// Open-addressing hash table keyed by the topology's packed node key.
+// Instead of clearing between rounds, each slot carries the epoch (round
+// number) it was written in; stale slots read as empty.  Capacity is
+// sized once for the agent population (occupancy per round can never
+// exceed the number of agents), so the table never rehashes and the hot
+// path is one mix + short linear probe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace antdense::sim {
+
+class CollisionCounter {
+ public:
+  /// `max_occupancy`: the most distinct keys that will be added in any
+  /// single round (the number of agents).  The table allocates 4x this
+  /// rounded to a power of two, keeping load factor <= 1/4.
+  explicit CollisionCounter(std::size_t max_occupancy);
+
+  /// Starts a new round; all previous counts become invisible (O(1)).
+  void begin_round();
+
+  /// Records one agent at `key`; returns the occupancy of `key`
+  /// *after* this insertion (1 for the first agent on the node).
+  std::uint32_t add(std::uint64_t key);
+
+  /// Occupancy of `key` in the current round (0 if no agent there).
+  std::uint32_t occupancy(std::uint64_t key) const;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint32_t epoch = 0;
+    std::uint32_t count = 0;
+  };
+
+  static std::uint64_t mix(std::uint64_t key) {
+    // SplitMix64 finalizer: full-avalanche, cheap.
+    key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    key = (key ^ (key >> 27)) * 0x94D049BB133111EBULL;
+    return key ^ (key >> 31);
+  }
+
+  std::vector<Slot> slots_;
+  std::uint64_t mask_;
+  std::uint32_t epoch_ = 0;
+  std::size_t max_occupancy_;
+  std::size_t inserted_this_round_ = 0;
+};
+
+}  // namespace antdense::sim

@@ -1,0 +1,200 @@
+// The synchronous multi-agent random-walk engine (the paper's model,
+// Section 2): N anonymous agents on a regular topology, one step per
+// round, collision counting through count(position) at the end of each
+// round.
+//
+// The engine also implements the perturbations Section 6.1 proposes for
+// robustness studies (they are *off* by default, matching the paper's
+// model exactly):
+//   - lazy_probability: agent stays put with probability p each round;
+//   - detection_miss_probability: each colliding partner goes undetected
+//     independently with probability p;
+//   - spurious_collision_probability: a phantom collision is recorded
+//     with probability p per round;
+//   - caller-supplied initial positions (non-uniform placement).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "rng/random.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "sim/collision_counter.hpp"
+#include "util/check.hpp"
+
+namespace antdense::sim {
+
+struct DensityConfig {
+  std::uint32_t num_agents = 0;
+  std::uint32_t rounds = 0;
+  double lazy_probability = 0.0;
+  double detection_miss_probability = 0.0;
+  double spurious_collision_probability = 0.0;
+
+  void validate() const {
+    ANTDENSE_CHECK(num_agents >= 1, "need at least one agent");
+    ANTDENSE_CHECK(rounds >= 1, "need at least one round");
+    ANTDENSE_CHECK(lazy_probability >= 0.0 && lazy_probability < 1.0,
+                   "lazy probability must be in [0,1)");
+    ANTDENSE_CHECK(detection_miss_probability >= 0.0 &&
+                       detection_miss_probability <= 1.0,
+                   "miss probability must be in [0,1]");
+    ANTDENSE_CHECK(spurious_collision_probability >= 0.0 &&
+                       spurious_collision_probability <= 1.0,
+                   "spurious probability must be in [0,1]");
+  }
+};
+
+struct DensityResult {
+  std::vector<std::uint64_t> collision_counts;  // per agent, summed rounds
+  std::uint32_t rounds = 0;
+  std::uint64_t num_nodes = 0;
+
+  /// The paper's density d = n/A where n is the number of *other* agents.
+  double true_density() const {
+    return static_cast<double>(collision_counts.size() - 1) /
+           static_cast<double>(num_nodes);
+  }
+
+  /// Per-agent estimates d~ = c / t (Algorithm 1's return value).
+  std::vector<double> estimates() const {
+    std::vector<double> out;
+    out.reserve(collision_counts.size());
+    for (std::uint64_t c : collision_counts) {
+      out.push_back(static_cast<double>(c) / rounds);
+    }
+    return out;
+  }
+};
+
+/// Runs Algorithm 1 for every agent simultaneously and returns all
+/// per-agent collision counts.  If `initial_positions` is non-null it
+/// must hold num_agents nodes (used by the non-uniform-placement
+/// experiments); otherwise agents start i.i.d. uniform, as the paper
+/// assumes.  Deterministic in `seed`.
+template <graph::Topology T>
+DensityResult run_density_walk(
+    const T& topo, const DensityConfig& cfg, std::uint64_t seed,
+    const std::vector<typename T::node_type>* initial_positions = nullptr) {
+  cfg.validate();
+  const std::uint32_t n_agents = cfg.num_agents;
+  ANTDENSE_CHECK(initial_positions == nullptr ||
+                     initial_positions->size() == n_agents,
+                 "initial positions must match agent count");
+
+  rng::Xoshiro256pp gen(rng::derive_seed(seed, 0x51u));
+  std::vector<typename T::node_type> pos(n_agents);
+  if (initial_positions != nullptr) {
+    pos = *initial_positions;
+  } else {
+    for (auto& p : pos) {
+      p = topo.random_node(gen);
+    }
+  }
+
+  std::vector<std::uint64_t> keys(n_agents);
+  std::vector<std::uint64_t> counts(n_agents, 0);
+  CollisionCounter counter(n_agents);
+
+  const bool lazy = cfg.lazy_probability > 0.0;
+  const bool noisy = cfg.detection_miss_probability > 0.0 ||
+                     cfg.spurious_collision_probability > 0.0;
+
+  for (std::uint32_t r = 0; r < cfg.rounds; ++r) {
+    counter.begin_round();
+    for (std::uint32_t i = 0; i < n_agents; ++i) {
+      if (!lazy || !rng::bernoulli(gen, cfg.lazy_probability)) {
+        pos[i] = topo.random_neighbor(pos[i], gen);
+      }
+      keys[i] = topo.key(pos[i]);
+      counter.add(keys[i]);
+    }
+    if (!noisy) {
+      for (std::uint32_t i = 0; i < n_agents; ++i) {
+        counts[i] += counter.occupancy(keys[i]) - 1;
+      }
+    } else {
+      for (std::uint32_t i = 0; i < n_agents; ++i) {
+        std::uint32_t others = counter.occupancy(keys[i]) - 1;
+        if (cfg.detection_miss_probability > 0.0) {
+          std::uint32_t detected = 0;
+          for (std::uint32_t j = 0; j < others; ++j) {
+            if (!rng::bernoulli(gen, cfg.detection_miss_probability)) {
+              ++detected;
+            }
+          }
+          others = detected;
+        }
+        if (cfg.spurious_collision_probability > 0.0 &&
+            rng::bernoulli(gen, cfg.spurious_collision_probability)) {
+          ++others;
+        }
+        counts[i] += others;
+      }
+    }
+  }
+
+  DensityResult result;
+  result.collision_counts = std::move(counts);
+  result.rounds = cfg.rounds;
+  result.num_nodes = topo.num_nodes();
+  return result;
+}
+
+struct PropertyResult {
+  std::vector<std::uint64_t> total_counts;     // collisions with anyone
+  std::vector<std::uint64_t> property_counts;  // collisions with P-agents
+  std::uint32_t rounds = 0;
+  std::uint64_t num_nodes = 0;
+};
+
+/// Two-class variant for Section 5.2: agents additionally detect whether
+/// a colliding partner carries property P, tracking both encounter
+/// counters simultaneously (one walk, two rates).
+template <graph::Topology T>
+PropertyResult run_property_walk(const T& topo, const DensityConfig& cfg,
+                                 const std::vector<bool>& has_property,
+                                 std::uint64_t seed) {
+  cfg.validate();
+  const std::uint32_t n_agents = cfg.num_agents;
+  ANTDENSE_CHECK(has_property.size() == n_agents,
+                 "property flags must match agent count");
+
+  rng::Xoshiro256pp gen(rng::derive_seed(seed, 0x52u));
+  std::vector<typename T::node_type> pos(n_agents);
+  for (auto& p : pos) {
+    p = topo.random_node(gen);
+  }
+
+  std::vector<std::uint64_t> keys(n_agents);
+  PropertyResult result;
+  result.total_counts.assign(n_agents, 0);
+  result.property_counts.assign(n_agents, 0);
+  CollisionCounter all_counter(n_agents);
+  CollisionCounter prop_counter(n_agents);
+
+  for (std::uint32_t r = 0; r < cfg.rounds; ++r) {
+    all_counter.begin_round();
+    prop_counter.begin_round();
+    for (std::uint32_t i = 0; i < n_agents; ++i) {
+      pos[i] = topo.random_neighbor(pos[i], gen);
+      keys[i] = topo.key(pos[i]);
+      all_counter.add(keys[i]);
+      if (has_property[i]) {
+        prop_counter.add(keys[i]);
+      }
+    }
+    for (std::uint32_t i = 0; i < n_agents; ++i) {
+      result.total_counts[i] += all_counter.occupancy(keys[i]) - 1;
+      const std::uint32_t prop_occ = prop_counter.occupancy(keys[i]);
+      result.property_counts[i] += prop_occ - (has_property[i] ? 1 : 0);
+    }
+  }
+  result.rounds = cfg.rounds;
+  result.num_nodes = topo.num_nodes();
+  return result;
+}
+
+}  // namespace antdense::sim

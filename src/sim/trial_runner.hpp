@@ -1,0 +1,66 @@
+// Multi-trial Monte Carlo drivers.
+//
+// Two sampling disciplines:
+//   - collect_all_agent_estimates: pools every agent's estimate from each
+//     trial.  Matches the paper's multi-agent viewpoint (Theorem 1 holds
+//     per agent; the union-bound remark covers all agents), but estimates
+//     within one trial are mildly correlated.
+//   - collect_single_agent_estimates: keeps only agent 0 per trial,
+//     giving fully independent samples for tail estimation.
+// Trials are parallelized; each trial's seed derives from its index, so
+// output is identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "rng/splitmix64.hpp"
+#include "sim/density_sim.hpp"
+#include "util/parallel.hpp"
+
+namespace antdense::sim {
+
+template <graph::Topology T>
+std::vector<double> collect_all_agent_estimates(const T& topo,
+                                                const DensityConfig& cfg,
+                                                std::uint64_t root_seed,
+                                                std::uint32_t trials,
+                                                unsigned threads = 0) {
+  std::vector<std::vector<double>> per_trial(trials);
+  util::parallel_for(
+      trials,
+      [&](std::size_t trial) {
+        const DensityResult r = run_density_walk(
+            topo, cfg, rng::derive_seed(root_seed, trial));
+        per_trial[trial] = r.estimates();
+      },
+      threads);
+  std::vector<double> all;
+  all.reserve(static_cast<std::size_t>(trials) * cfg.num_agents);
+  for (const auto& v : per_trial) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  return all;
+}
+
+template <graph::Topology T>
+std::vector<double> collect_single_agent_estimates(const T& topo,
+                                                   const DensityConfig& cfg,
+                                                   std::uint64_t root_seed,
+                                                   std::uint32_t trials,
+                                                   unsigned threads = 0) {
+  std::vector<double> out(trials, 0.0);
+  util::parallel_for(
+      trials,
+      [&](std::size_t trial) {
+        const DensityResult r = run_density_walk(
+            topo, cfg, rng::derive_seed(root_seed, trial));
+        out[trial] =
+            static_cast<double>(r.collision_counts[0]) / r.rounds;
+      },
+      threads);
+  return out;
+}
+
+}  // namespace antdense::sim

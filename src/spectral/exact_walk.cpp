@@ -1,0 +1,81 @@
+#include "spectral/exact_walk.hpp"
+
+#include "spectral/walk_matrix.hpp"
+#include "util/check.hpp"
+
+namespace antdense::spectral {
+
+using graph::Graph;
+
+std::vector<double> walk_distribution(const Graph& g, Graph::vertex source,
+                                      std::uint32_t steps) {
+  ANTDENSE_CHECK(source < g.num_vertices(), "source out of range");
+  std::vector<double> dist(g.num_vertices(), 0.0);
+  dist[source] = 1.0;
+  return evolve(g, std::move(dist), steps);
+}
+
+double exact_equalization_probability(const Graph& g, Graph::vertex source,
+                                      std::uint32_t steps) {
+  return walk_distribution(g, source, steps)[source];
+}
+
+double exact_recollision_probability(const Graph& g, Graph::vertex source,
+                                     std::uint32_t steps) {
+  const auto dist = walk_distribution(g, source, steps);
+  double acc = 0.0;
+  for (double p : dist) {
+    acc += p * p;
+  }
+  return acc;
+}
+
+namespace {
+
+// Shared driver: evolve one distribution per start vertex, reducing each
+// step with `reduce(dist, start)` into curve[m], averaged over starts.
+template <typename Reduce>
+std::vector<double> averaged_curve(const Graph& g, std::uint32_t m_max,
+                                   Reduce reduce) {
+  const std::uint32_t n = g.num_vertices();
+  ANTDENSE_CHECK(n > 0, "empty graph");
+  std::vector<double> curve(m_max + 1, 0.0);
+  for (Graph::vertex start = 0; start < n; ++start) {
+    std::vector<double> dist(n, 0.0);
+    dist[start] = 1.0;
+    curve[0] += reduce(dist, start);
+    for (std::uint32_t m = 1; m <= m_max; ++m) {
+      dist = evolve_step(g, dist);
+      curve[m] += reduce(dist, start);
+    }
+  }
+  for (double& v : curve) {
+    v /= n;
+  }
+  return curve;
+}
+
+}  // namespace
+
+std::vector<double> exact_equalization_curve(const Graph& g,
+                                             std::uint32_t m_max) {
+  return averaged_curve(
+      g, m_max,
+      [](const std::vector<double>& dist, Graph::vertex start) {
+        return dist[start];
+      });
+}
+
+std::vector<double> exact_recollision_curve(const Graph& g,
+                                            std::uint32_t m_max) {
+  return averaged_curve(
+      g, m_max, [](const std::vector<double>& dist, Graph::vertex) {
+        double acc = 0.0;
+        for (double p : dist) {
+          acc += p * p;
+        }
+        return acc;
+      });
+}
+
+}  // namespace antdense::spectral

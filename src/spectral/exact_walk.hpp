@@ -1,0 +1,44 @@
+// Exact single-walk and two-walk probabilities on explicit graphs —
+// closed-form oracles for the Monte Carlo estimators in walk/.
+//
+// For a walk matrix W and start vertex u:
+//   equalization:  P[X_m = u | X_0 = u]          = (e_u W^m)(u)
+//   re-collision:  P[X_m = Y_m | X_0 = Y_0 = u]  = sum_v p_m(u,v)^2
+//                  (two independent walks from the same start)
+// These power the strongest tests in the suite: the sampled curves must
+// match the exact values within binomial confidence bounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace antdense::spectral {
+
+/// p_m(u, ·): the exact distribution of an m-step walk from u.
+std::vector<double> walk_distribution(const graph::Graph& g,
+                                      graph::Graph::vertex source,
+                                      std::uint32_t steps);
+
+/// Exact equalization probability P[X_m = u | X_0 = u].
+double exact_equalization_probability(const graph::Graph& g,
+                                      graph::Graph::vertex source,
+                                      std::uint32_t steps);
+
+/// Exact re-collision probability of two independent walks launched from
+/// the same vertex: sum_v p_m(u,v)^2.
+double exact_recollision_probability(const graph::Graph& g,
+                                     graph::Graph::vertex source,
+                                     std::uint32_t steps);
+
+/// Full exact curves for m = 0..m_max, averaged over a uniform random
+/// start (matching the Monte Carlo protocol, which draws the common
+/// start uniformly).  One evolution pass per start vertex — intended for
+/// small graphs.
+std::vector<double> exact_equalization_curve(const graph::Graph& g,
+                                             std::uint32_t m_max);
+std::vector<double> exact_recollision_curve(const graph::Graph& g,
+                                            std::uint32_t m_max);
+
+}  // namespace antdense::spectral

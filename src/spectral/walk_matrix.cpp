@@ -1,0 +1,169 @@
+#include "spectral/walk_matrix.hpp"
+
+#include <cmath>
+
+#include "rng/random.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "util/check.hpp"
+
+namespace antdense::spectral {
+
+using graph::Graph;
+
+std::vector<double> stationary_distribution(const Graph& g) {
+  ANTDENSE_CHECK(g.num_vertices() > 0, "empty graph");
+  std::vector<double> pi(g.num_vertices());
+  double total = 0.0;
+  for (Graph::vertex v = 0; v < g.num_vertices(); ++v) {
+    pi[v] = static_cast<double>(g.degree(v));
+    total += pi[v];
+  }
+  ANTDENSE_CHECK(total > 0.0, "graph has no edges");
+  for (double& p : pi) {
+    p /= total;
+  }
+  return pi;
+}
+
+std::vector<double> evolve_step(const Graph& g,
+                                const std::vector<double>& dist) {
+  ANTDENSE_CHECK(dist.size() == g.num_vertices(),
+                 "distribution size must match vertex count");
+  std::vector<double> out(dist.size(), 0.0);
+  for (Graph::vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::uint32_t d = g.degree(v);
+    if (d == 0 || dist[v] == 0.0) continue;
+    const double share = dist[v] / d;
+    for (Graph::vertex u : g.neighbors(v)) {
+      out[u] += share;
+    }
+  }
+  return out;
+}
+
+std::vector<double> evolve(const Graph& g, std::vector<double> dist,
+                           std::uint32_t steps) {
+  for (std::uint32_t s = 0; s < steps; ++s) {
+    dist = evolve_step(g, dist);
+  }
+  return dist;
+}
+
+double tv_distance(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  ANTDENSE_CHECK(a.size() == b.size(), "distribution sizes must match");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += std::fabs(a[i] - b[i]);
+  }
+  return acc / 2.0;
+}
+
+namespace {
+
+// y = N x where N = D^{-1/2} A D^{-1/2} (symmetric, same spectrum as the
+// walk matrix).
+std::vector<double> apply_normalized(const Graph& g,
+                                     const std::vector<double>& x,
+                                     const std::vector<double>& inv_sqrt_deg) {
+  std::vector<double> y(x.size(), 0.0);
+  for (Graph::vertex v = 0; v < g.num_vertices(); ++v) {
+    const double xv = x[v] * inv_sqrt_deg[v];
+    if (xv == 0.0) continue;
+    for (Graph::vertex u : g.neighbors(v)) {
+      y[u] += xv * inv_sqrt_deg[u];
+    }
+  }
+  return y;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+double norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace
+
+double second_eigenvalue_magnitude(const Graph& g, std::uint32_t iterations,
+                                   std::uint64_t seed) {
+  const std::uint32_t n = g.num_vertices();
+  ANTDENSE_CHECK(n >= 2, "graph must have at least 2 vertices");
+  ANTDENSE_CHECK(g.num_edges() > 0, "graph must have edges");
+
+  // Top eigenvector of N is phi(v) = sqrt(deg v), eigenvalue 1.
+  std::vector<double> phi(n);
+  std::vector<double> inv_sqrt_deg(n);
+  for (Graph::vertex v = 0; v < n; ++v) {
+    const double d = g.degree(v);
+    ANTDENSE_CHECK(d > 0.0, "isolated vertex: walk matrix undefined");
+    phi[v] = std::sqrt(d);
+    inv_sqrt_deg[v] = 1.0 / phi[v];
+  }
+  const double phi_norm = norm(phi);
+  for (double& p : phi) {
+    p /= phi_norm;
+  }
+
+  rng::Xoshiro256pp gen(seed);
+  std::vector<double> x(n);
+  for (double& v : x) {
+    v = rng::uniform_unit(gen) - 0.5;
+  }
+
+  double lambda = 0.0;
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    // Deflate the top eigenspace, then apply N.
+    const double proj = dot(x, phi);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      x[i] -= proj * phi[i];
+    }
+    std::vector<double> y = apply_normalized(g, x, inv_sqrt_deg);
+    const double y_norm = norm(y);
+    if (y_norm == 0.0) {
+      return 0.0;  // x was entirely in the top eigenspace: disconnected? no
+    }
+    lambda = y_norm / norm(x);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      x[i] = y[i] / y_norm;
+    }
+  }
+  return lambda;
+}
+
+double spectral_gap(const Graph& g, std::uint32_t iterations,
+                    std::uint64_t seed) {
+  return 1.0 - second_eigenvalue_magnitude(g, iterations, seed);
+}
+
+std::uint32_t burn_in_steps(std::uint64_t num_edges, double delta,
+                            double lambda) {
+  ANTDENSE_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  ANTDENSE_CHECK(lambda >= 0.0 && lambda < 1.0, "lambda must be in [0,1)");
+  ANTDENSE_CHECK(num_edges > 0, "graph must have edges");
+  const double steps =
+      std::log(static_cast<double>(num_edges) / delta) / (1.0 - lambda);
+  return static_cast<std::uint32_t>(std::ceil(steps));
+}
+
+std::uint32_t mixing_time_from(const Graph& g, Graph::vertex source,
+                               double target, std::uint32_t max_steps) {
+  ANTDENSE_CHECK(source < g.num_vertices(), "source out of range");
+  ANTDENSE_CHECK(target > 0.0, "target TV distance must be positive");
+  const std::vector<double> pi = stationary_distribution(g);
+  std::vector<double> dist(g.num_vertices(), 0.0);
+  dist[source] = 1.0;
+  for (std::uint32_t m = 0; m <= max_steps; ++m) {
+    if (tv_distance(dist, pi) <= target) {
+      return m;
+    }
+    dist = evolve_step(g, dist);
+  }
+  return max_steps + 1;
+}
+
+}  // namespace antdense::spectral

@@ -1,0 +1,60 @@
+// Random-walk matrix tools for explicit graphs.
+//
+// Three jobs:
+//   1. Exact distribution evolution x -> x W^m on small graphs — the test
+//      oracle for the Monte Carlo engine, and the exact TV-distance
+//      curves for the Section 5.1.4 burn-in analysis.
+//   2. λ = max{|λ₂|, |λ_A|} of the walk matrix via power iteration on the
+//      symmetrized matrix — the quantity in Lemma 23/24 and in the
+//      burn-in bound M = O(log(|E|/δ)/(1-λ)).
+//   3. Mixing-time measurement (smallest m with worst-case TV <= target).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace antdense::spectral {
+
+/// The stationary distribution of a random walk on g: pi(v) proportional
+/// to deg(v).  Uniform exactly when the graph is regular.
+std::vector<double> stationary_distribution(const graph::Graph& g);
+
+/// One exact step of distribution evolution: out[u] = sum over neighbors
+/// v of u of in[v] / deg(v).  (Row-stochastic walk matrix applied on the
+/// right, exploiting undirectedness.)
+std::vector<double> evolve_step(const graph::Graph& g,
+                                const std::vector<double>& dist);
+
+/// m exact steps.
+std::vector<double> evolve(const graph::Graph& g, std::vector<double> dist,
+                           std::uint32_t steps);
+
+/// Total variation distance: (1/2) * sum |a_i - b_i|.
+double tv_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// λ = max{|λ₂|, |λ_A|} of the walk matrix W = D^{-1} A, computed by
+/// power iteration on the symmetric normalization N = D^{-1/2} A D^{-1/2}
+/// with the top eigenvector deflated.  Deterministic in `seed`.
+double second_eigenvalue_magnitude(const graph::Graph& g,
+                                   std::uint32_t iterations = 2000,
+                                   std::uint64_t seed = 0x5EC7);
+
+/// Spectral gap 1 - λ.
+double spectral_gap(const graph::Graph& g, std::uint32_t iterations = 2000,
+                    std::uint64_t seed = 0x5EC7);
+
+/// The paper's burn-in length (Section 5.1.4):
+/// M = ceil(log(|E|/delta) / (1-lambda)).
+std::uint32_t burn_in_steps(std::uint64_t num_edges, double delta,
+                            double lambda);
+
+/// Smallest m such that the walk started from `source` has TV distance to
+/// stationarity <= target.  Exact evolution; small graphs only.  Returns
+/// max_steps+1 if not reached.
+std::uint32_t mixing_time_from(const graph::Graph& g,
+                               graph::Graph::vertex source, double target,
+                               std::uint32_t max_steps);
+
+}  // namespace antdense::spectral

@@ -1,0 +1,40 @@
+#include "stats/accumulator.hpp"
+
+#include <cmath>
+
+namespace antdense::stats {
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::sample_stddev() const {
+  return std::sqrt(sample_variance());
+}
+
+double Accumulator::standard_error() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return sample_stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+}  // namespace antdense::stats

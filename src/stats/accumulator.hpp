@@ -1,0 +1,57 @@
+// Streaming mean/variance accumulator (Welford's algorithm) plus min/max.
+// Numerically stable for the large trial counts the benches use.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace antdense::stats {
+
+class Accumulator {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void merge(const Accumulator& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double sum() const { return sum_; }
+
+  /// Population variance (divides by n).
+  double variance() const {
+    return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+
+  /// Sample variance (divides by n-1); 0 when fewer than two samples.
+  double sample_variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+  double stddev() const;
+  double sample_stddev() const;
+
+  /// Standard error of the mean: sample_stddev / sqrt(n).
+  double standard_error() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace antdense::stats

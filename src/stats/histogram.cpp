@@ -1,0 +1,117 @@
+#include "stats/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace antdense::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo), hi_(hi), counts_(num_bins, 0) {
+  ANTDENSE_CHECK(hi > lo, "histogram range must be non-empty");
+  ANTDENSE_CHECK(num_bins >= 1, "histogram needs at least one bin");
+  width_ = (hi - lo) / static_cast<double>(num_bins);
+}
+
+void Histogram::add(double x) { add_count(x, 1); }
+
+void Histogram::add_count(double x, std::uint64_t count) {
+  total_ += count;
+  if (x < lo_) {
+    underflow_ += count;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += count;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) {  // guard against FP edge at x == hi_-eps
+    bin = counts_.size() - 1;
+  }
+  counts_[bin] += count;
+}
+
+double Histogram::bin_lower(std::size_t bin) const {
+  ANTDENSE_CHECK(bin < counts_.size(), "bin out of range");
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_upper(std::size_t bin) const {
+  return bin_lower(bin) + width_;
+}
+
+double Histogram::bin_fraction(std::size_t bin) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bin_count(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  os << "hist[" << lo_ << "," << hi_ << ") ";
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (b > 0) os << ' ';
+    os << counts_[b];
+  }
+  os << " (under=" << underflow_ << " over=" << overflow_ << ")";
+  return os.str();
+}
+
+LogHistogram::LogHistogram(std::size_t max_buckets)
+    : counts_(max_buckets, 0) {
+  ANTDENSE_CHECK(max_buckets >= 2, "log histogram needs >= 2 buckets");
+}
+
+namespace {
+
+// Bucket 0 holds value 0; bucket b>=1 holds [2^(b-1), 2^b - 1].
+std::size_t bucket_of(std::uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+}  // namespace
+
+void LogHistogram::add(std::uint64_t value) {
+  std::size_t b = bucket_of(value);
+  if (b >= counts_.size()) {
+    b = counts_.size() - 1;
+  }
+  ++counts_[b];
+  ++total_;
+}
+
+std::uint64_t LogHistogram::bucket_lower(std::size_t b) const {
+  ANTDENSE_CHECK(b < counts_.size(), "bucket out of range");
+  if (b == 0) {
+    return 0;
+  }
+  return std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t LogHistogram::bucket_upper(std::size_t b) const {
+  ANTDENSE_CHECK(b < counts_.size(), "bucket out of range");
+  if (b == 0) {
+    return 0;
+  }
+  return (std::uint64_t{1} << b) - 1;
+}
+
+std::string LogHistogram::to_string() const {
+  std::ostringstream os;
+  os << "loghist ";
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    os << '[' << bucket_lower(b) << '-' << bucket_upper(b) << "]:"
+       << counts_[b] << ' ';
+  }
+  return os.str();
+}
+
+}  // namespace antdense::stats

@@ -1,0 +1,67 @@
+// Fixed-bin and logarithmic histograms for distribution inspection
+// (collision count distributions, visit counts, displacement spread).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace antdense::stats {
+
+/// Linear histogram over [lo, hi) with uniform bin width.  Values outside
+/// the range are counted in underflow/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t num_bins);
+
+  void add(double x);
+  void add_count(double x, std::uint64_t count);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  double bin_lower(std::size_t bin) const;
+  double bin_upper(std::size_t bin) const;
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Fraction of all observations landing in `bin` (0 when empty).
+  double bin_fraction(std::size_t bin) const;
+
+  /// Compact single-line rendering, e.g. for test diagnostics.
+  std::string to_string() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Histogram of non-negative integers with power-of-two bin edges:
+/// {0}, {1}, [2,3], [4,7], [8,15], ...  Used for heavy-tailed counts
+/// (per-partner collision counts are log-series-like on the torus).
+class LogHistogram {
+ public:
+  explicit LogHistogram(std::size_t max_buckets = 40);
+
+  void add(std::uint64_t value);
+
+  std::size_t num_buckets() const { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t b) const { return counts_.at(b); }
+  /// Inclusive value range [lower, upper] covered by bucket b.
+  std::uint64_t bucket_lower(std::size_t b) const;
+  std::uint64_t bucket_upper(std::size_t b) const;
+  std::uint64_t total() const { return total_; }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace antdense::stats

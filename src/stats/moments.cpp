@@ -1,0 +1,80 @@
+#include "stats/moments.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace antdense::stats {
+
+namespace {
+
+double mean_of(const std::vector<double>& samples) {
+  double sum = 0.0;
+  for (double x : samples) {
+    sum += x;
+  }
+  return sum / static_cast<double>(samples.size());
+}
+
+}  // namespace
+
+double central_moment(const std::vector<double>& samples, int k) {
+  ANTDENSE_CHECK(!samples.empty(), "central_moment requires samples");
+  ANTDENSE_CHECK(k >= 1, "moment order must be >= 1");
+  const double mu = mean_of(samples);
+  double acc = 0.0;
+  for (double x : samples) {
+    acc += std::pow(x - mu, k);
+  }
+  return acc / static_cast<double>(samples.size());
+}
+
+double raw_moment(const std::vector<double>& samples, int k) {
+  ANTDENSE_CHECK(!samples.empty(), "raw_moment requires samples");
+  ANTDENSE_CHECK(k >= 1, "moment order must be >= 1");
+  double acc = 0.0;
+  for (double x : samples) {
+    acc += std::pow(x, k);
+  }
+  return acc / static_cast<double>(samples.size());
+}
+
+std::vector<double> central_moments_up_to(const std::vector<double>& samples,
+                                          int max_k) {
+  ANTDENSE_CHECK(!samples.empty(), "central_moments_up_to requires samples");
+  ANTDENSE_CHECK(max_k >= 1, "moment order must be >= 1");
+  const double mu = mean_of(samples);
+  std::vector<double> acc(static_cast<std::size_t>(max_k) + 1, 0.0);
+  for (double x : samples) {
+    const double d = x - mu;
+    double p = 1.0;
+    for (int k = 1; k <= max_k; ++k) {
+      p *= d;
+      acc[static_cast<std::size_t>(k)] += p;
+    }
+  }
+  for (int k = 1; k <= max_k; ++k) {
+    acc[static_cast<std::size_t>(k)] /= static_cast<double>(samples.size());
+  }
+  return acc;
+}
+
+double skewness(const std::vector<double>& samples) {
+  const double m2 = central_moment(samples, 2);
+  if (m2 <= 0.0) {
+    return 0.0;
+  }
+  const double m3 = central_moment(samples, 3);
+  return m3 / std::pow(m2, 1.5);
+}
+
+double excess_kurtosis(const std::vector<double>& samples) {
+  const double m2 = central_moment(samples, 2);
+  if (m2 <= 0.0) {
+    return 0.0;
+  }
+  const double m4 = central_moment(samples, 4);
+  return m4 / (m2 * m2) - 3.0;
+}
+
+}  // namespace antdense::stats

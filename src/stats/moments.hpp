@@ -1,0 +1,30 @@
+// Central and raw moment estimation for sample vectors.
+//
+// The paper's concentration analysis (Lemma 11, Corollaries 15/16) is
+// driven by bounds on k-th central moments E[(X - E X)^k]; the moment
+// benches estimate these empirically and compare against k! w^k log^k(2t).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace antdense::stats {
+
+/// Two-pass estimate of the k-th central moment E[(X - mean)^k].
+double central_moment(const std::vector<double>& samples, int k);
+
+/// Raw moment E[X^k].
+double raw_moment(const std::vector<double>& samples, int k);
+
+/// All central moments from order 1 to max_k (index 0 unused, index 1 is
+/// ~0 by construction).  One pass over the data per call.
+std::vector<double> central_moments_up_to(const std::vector<double>& samples,
+                                          int max_k);
+
+/// Skewness (standardized third central moment); 0 for degenerate input.
+double skewness(const std::vector<double>& samples);
+
+/// Excess kurtosis (standardized fourth central moment minus 3).
+double excess_kurtosis(const std::vector<double>& samples);
+
+}  // namespace antdense::stats

@@ -1,0 +1,43 @@
+#include "stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace antdense::stats {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  ANTDENSE_CHECK(!sorted.empty(), "quantile requires samples");
+  ANTDENSE_CHECK(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - std::floor(pos);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double quantile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return quantile_sorted(samples, q);
+}
+
+std::vector<double> quantiles(std::vector<double> samples,
+                              const std::vector<double>& qs) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    out.push_back(quantile_sorted(samples, q));
+  }
+  return out;
+}
+
+double median(std::vector<double> samples) {
+  return quantile(std::move(samples), 0.5);
+}
+
+}  // namespace antdense::stats

@@ -1,0 +1,25 @@
+// Exact sample quantiles.  Theorem-1-style benches report the empirical
+// (1-δ)-quantile of the relative estimation error, so quantiles are a
+// first-class primitive here.
+#pragma once
+
+#include <vector>
+
+namespace antdense::stats {
+
+/// Returns the q-quantile (q in [0,1]) of the samples using linear
+/// interpolation between order statistics (type-7 estimator, the
+/// R/NumPy default).  Copies and partially sorts the input.
+double quantile(std::vector<double> samples, double q);
+
+/// Quantile of already-sorted data (no copy).
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Several quantiles in one sort of the data.
+std::vector<double> quantiles(std::vector<double> samples,
+                              const std::vector<double>& qs);
+
+/// Median convenience wrapper.
+double median(std::vector<double> samples);
+
+}  // namespace antdense::stats

@@ -1,0 +1,71 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace antdense::stats {
+
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  ANTDENSE_CHECK(x.size() == y.size(), "x and y must have equal length");
+  ANTDENSE_CHECK(x.size() >= 2, "fit requires at least two points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  ANTDENSE_CHECK(denom != 0.0, "degenerate x values in linear fit");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot <= 0.0) {
+    fit.r_squared = 1.0;
+  } else {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (fit.slope * x[i] + fit.intercept);
+      ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+namespace {
+
+LinearFit transformed_fit(const std::vector<double>& x,
+                          const std::vector<double>& y, bool log_x) {
+  std::vector<double> tx, ty;
+  tx.reserve(x.size());
+  ty.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (y[i] <= 0.0) continue;
+    if (log_x && x[i] <= 0.0) continue;
+    tx.push_back(log_x ? std::log(x[i]) : x[i]);
+    ty.push_back(std::log(y[i]));
+  }
+  return linear_fit(tx, ty);
+}
+
+}  // namespace
+
+LinearFit log_log_fit(const std::vector<double>& x,
+                      const std::vector<double>& y) {
+  ANTDENSE_CHECK(x.size() == y.size(), "x and y must have equal length");
+  return transformed_fit(x, y, /*log_x=*/true);
+}
+
+LinearFit semilog_fit(const std::vector<double>& x,
+                      const std::vector<double>& y) {
+  ANTDENSE_CHECK(x.size() == y.size(), "x and y must have equal length");
+  return transformed_fit(x, y, /*log_x=*/false);
+}
+
+}  // namespace antdense::stats

@@ -1,0 +1,31 @@
+// Least-squares fitting.  The benches verify decay *exponents* (slope of
+// log P vs log m should be about -1 on the 2-D torus, -1/2 on the ring,
+// -k/2 on the k-dimensional torus), so log-log regression is the core
+// acceptance tool for the re-collision experiments.
+#pragma once
+
+#include <vector>
+
+namespace antdense::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares y = slope*x + intercept.
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// Fits log(y) = slope*log(x) + intercept, i.e. a power law y = C * x^slope.
+/// Points with x <= 0 or y <= 0 are skipped (e.g. zero-probability bins).
+LinearFit log_log_fit(const std::vector<double>& x,
+                      const std::vector<double>& y);
+
+/// Fits log(y) = slope*x + intercept, i.e. exponential decay y = C*e^(slope x).
+/// Used for expander/hypercube re-collision curves (geometric decay).
+LinearFit semilog_fit(const std::vector<double>& x,
+                      const std::vector<double>& y);
+
+}  // namespace antdense::stats

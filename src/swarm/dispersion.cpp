@@ -1,0 +1,109 @@
+#include "swarm/dispersion.hpp"
+
+#include <algorithm>
+
+#include "rng/random.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "sim/collision_counter.hpp"
+#include "util/check.hpp"
+
+namespace antdense::swarm {
+
+using graph::Torus2D;
+
+namespace {
+
+// Mean pairwise wrap-aware L1 distance over a subsample of agent pairs,
+// normalized by the uniform-placement expectation (side/2 per axis).
+double spread_ratio(const Torus2D& torus,
+                    const std::vector<Torus2D::node_type>& pos,
+                    rng::Xoshiro256pp& gen) {
+  const std::size_t n = pos.size();
+  const std::size_t pairs = std::min<std::size_t>(4096, n * (n - 1) / 2);
+  double acc = 0.0;
+  for (std::size_t s = 0; s < pairs; ++s) {
+    const auto i = rng::uniform_below(gen, n);
+    auto j = rng::uniform_below(gen, n - 1);
+    if (j >= i) ++j;
+    acc += static_cast<double>(torus.l1_distance(pos[i], pos[j]));
+  }
+  const double mean = acc / static_cast<double>(pairs);
+  // Expected wrap L1 distance of two uniform points: ~side/4 per axis.
+  const double uniform_expectation =
+      (static_cast<double>(torus.width()) + torus.height()) / 4.0;
+  return mean / uniform_expectation;
+}
+
+}  // namespace
+
+DispersionResult run_dispersion(const Torus2D& torus,
+                                const DispersionConfig& cfg,
+                                std::uint64_t seed) {
+  ANTDENSE_CHECK(cfg.num_agents >= 2, "need at least two agents");
+  ANTDENSE_CHECK(cfg.epochs >= 1, "need at least one epoch");
+  ANTDENSE_CHECK(cfg.rounds_per_epoch >= 1, "need at least one round");
+  ANTDENSE_CHECK(cfg.density_threshold > 0.0, "threshold must be positive");
+  ANTDENSE_CHECK(cfg.initial_patch_side >= 1 &&
+                     cfg.initial_patch_side <= torus.width() &&
+                     cfg.initial_patch_side <= torus.height(),
+                 "patch must fit inside the torus");
+
+  rng::Xoshiro256pp gen(rng::derive_seed(seed, 0xD15Cu));
+  const std::uint32_t n = cfg.num_agents;
+
+  // Clustered start: all agents inside the initial patch.
+  std::vector<Torus2D::node_type> pos(n);
+  for (auto& p : pos) {
+    const auto x = static_cast<std::uint32_t>(
+        rng::uniform_below(gen, cfg.initial_patch_side));
+    const auto y = static_cast<std::uint32_t>(
+        rng::uniform_below(gen, cfg.initial_patch_side));
+    p = Torus2D::pack(x, y);
+  }
+
+  std::vector<bool> fast(n, false);
+  std::vector<std::uint64_t> keys(n);
+  sim::CollisionCounter counter(n);
+  DispersionResult result;
+  result.epochs.reserve(cfg.epochs);
+
+  for (std::uint32_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::vector<std::uint64_t> counts(n, 0);
+    for (std::uint32_t r = 0; r < cfg.rounds_per_epoch; ++r) {
+      counter.begin_round();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        pos[i] = torus.random_neighbor(pos[i], gen);
+        if (fast[i]) {
+          pos[i] = torus.random_neighbor(pos[i], gen);
+        }
+        keys[i] = torus.key(pos[i]);
+        counter.add(keys[i]);
+      }
+      for (std::uint32_t i = 0; i < n; ++i) {
+        counts[i] += counter.occupancy(keys[i]) - 1;
+      }
+    }
+
+    DispersionEpochStats stats;
+    std::uint32_t overcrowded = 0;
+    double estimate_sum = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const double estimate =
+          static_cast<double>(counts[i]) / cfg.rounds_per_epoch;
+      estimate_sum += estimate;
+      const bool hot = estimate > cfg.density_threshold;
+      fast[i] = hot;
+      if (hot) {
+        ++overcrowded;
+      }
+    }
+    stats.mean_density_estimate = estimate_sum / n;
+    stats.fraction_overcrowded = static_cast<double>(overcrowded) / n;
+    stats.spread_ratio = spread_ratio(torus, pos, gen);
+    result.epochs.push_back(stats);
+  }
+  return result;
+}
+
+}  // namespace antdense::swarm

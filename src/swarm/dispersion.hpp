@@ -1,0 +1,45 @@
+// Density-triggered dispersion (Section 6.3.4 future-work feature).
+//
+// A closed-loop demo of density estimation as a control primitive:
+// agents start clustered in a small patch of the torus, repeatedly run
+// Algorithm 1 for an epoch, and agents whose local estimate exceeds a
+// threshold diffuse at double speed (two walk steps per round) during the
+// next epoch.  The occupancy spread metric shows the swarm flattening
+// toward uniform coverage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/torus2d.hpp"
+
+namespace antdense::swarm {
+
+struct DispersionConfig {
+  std::uint32_t num_agents = 0;
+  std::uint32_t epochs = 0;
+  std::uint32_t rounds_per_epoch = 0;
+  /// Agents estimating density above this value speed up next epoch.
+  double density_threshold = 0.0;
+  /// Side of the initial square patch agents are packed into.
+  std::uint32_t initial_patch_side = 1;
+};
+
+struct DispersionEpochStats {
+  double mean_density_estimate = 0.0;
+  double fraction_overcrowded = 0.0;  // agents above threshold
+  /// Normalized spatial spread: mean pairwise torus L1 distance divided
+  /// by the expected value for uniformly placed agents (1.0 = fully
+  /// dispersed).
+  double spread_ratio = 0.0;
+};
+
+struct DispersionResult {
+  std::vector<DispersionEpochStats> epochs;
+};
+
+DispersionResult run_dispersion(const graph::Torus2D& torus,
+                                const DispersionConfig& cfg,
+                                std::uint64_t seed);
+
+}  // namespace antdense::swarm

@@ -1,0 +1,58 @@
+// Precondition and invariant checking for the antdense library.
+//
+// Public API entry points validate their arguments with ANTDENSE_CHECK and
+// throw std::invalid_argument on violation (Core Guidelines I.5/I.6: state
+// and check preconditions).  Internal invariants that indicate a library
+// bug use ANTDENSE_ASSERT, which throws std::logic_error so that tests can
+// observe the failure deterministically on every build type.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace antdense::util {
+
+[[noreturn]] inline void throw_invalid_argument(const char* expr,
+                                                const char* file, int line,
+                                                const std::string& message) {
+  std::ostringstream os;
+  os << "antdense: precondition failed: (" << expr << ") at " << file << ':'
+     << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_logic_error(const char* expr, const char* file,
+                                           int line,
+                                           const std::string& message) {
+  std::ostringstream os;
+  os << "antdense: internal invariant violated: (" << expr << ") at " << file
+     << ':' << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw std::logic_error(os.str());
+}
+
+}  // namespace antdense::util
+
+// Validates a caller-supplied precondition; throws std::invalid_argument.
+#define ANTDENSE_CHECK(cond, message)                                   \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::antdense::util::throw_invalid_argument(#cond, __FILE__,         \
+                                               __LINE__, (message));    \
+    }                                                                   \
+  } while (false)
+
+// Validates an internal invariant; throws std::logic_error.
+#define ANTDENSE_ASSERT(cond, message)                                  \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::antdense::util::throw_logic_error(#cond, __FILE__, __LINE__,    \
+                                          (message));                   \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,87 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace antdense::util {
+
+namespace {
+
+bool looks_like_flag(const std::string& arg) {
+  return arg.size() >= 3 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!looks_like_flag(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" form: consume the next token if it is not a flag.
+    if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      flags_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return flags_.count(key) > 0; }
+
+std::string Args::get_string(const std::string& key,
+                             const std::string& fallback) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key,
+                           std::int64_t fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  ANTDENSE_CHECK(!it->second.empty(), "empty value for flag --" + key);
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+std::uint64_t Args::get_uint(const std::string& key,
+                             std::uint64_t fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  ANTDENSE_CHECK(!it->second.empty(), "empty value for flag --" + key);
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  ANTDENSE_CHECK(!it->second.empty(), "empty value for flag --" + key);
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Args::get_bool(const std::string& key, bool fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+}  // namespace antdense::util

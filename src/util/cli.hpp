@@ -1,0 +1,41 @@
+// Minimal command-line flag parser for bench and example binaries.
+//
+// Supported syntax: --key=value, --key value, and bare --flag (boolean
+// true).  Unknown positional arguments are collected separately.  The
+// parser is intentionally tiny: benches need reproducible parameter
+// overrides, nothing more.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace antdense::util {
+
+class Args {
+ public:
+  Args() = default;
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  std::uint64_t get_uint(const std::string& key,
+                         std::uint64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// All parsed flags, for echoing experiment configuration.
+  const std::map<std::string, std::string>& flags() const { return flags_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace antdense::util

@@ -1,0 +1,57 @@
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace antdense::util {
+
+std::string format_fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_sci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  return buf;
+}
+
+std::string format_auto(double value, int precision) {
+  if (value == 0.0) {
+    return "0";
+  }
+  const double mag = std::fabs(value);
+  if (mag >= 1e7 || mag < 1e-4) {
+    return format_sci(value, precision);
+  }
+  if (mag >= 100.0 && value == std::floor(value)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  return format_fixed(value, precision);
+}
+
+std::string format_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int from_right = static_cast<int>(digits.size());
+  for (char c : digits) {
+    out.push_back(c);
+    --from_right;
+    if (from_right > 0 && from_right % 3 == 0) {
+      out.push_back(',');
+    }
+  }
+  return out;
+}
+
+std::string format_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace antdense::util

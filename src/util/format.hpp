@@ -1,0 +1,28 @@
+// Small numeric formatting helpers used by the table/CSV emitters and by
+// bench output.  (libstdc++ 12 does not ship std::format, so these are
+// implemented with snprintf.)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace antdense::util {
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string format_fixed(double value, int precision = 4);
+
+/// Formats a double in scientific notation with `precision` digits.
+std::string format_sci(double value, int precision = 3);
+
+/// Formats a double compactly: fixed for mid-range magnitudes, scientific
+/// for very large/small values.  Intended for table cells.
+std::string format_auto(double value, int precision = 4);
+
+/// Formats an integer with thousands separators ("1,234,567").
+std::string format_count(std::uint64_t value);
+
+/// Formats a ratio as a percentage string with `precision` digits.
+std::string format_percent(double fraction, int precision = 2);
+
+}  // namespace antdense::util

@@ -1,0 +1,33 @@
+// Deterministic parallel trial runner.
+//
+// Benches run many independent Monte Carlo trials.  Each trial derives its
+// randomness from its trial *index*, never from the executing thread, so
+// results are bit-identical for any thread count (including 1).  Work is
+// handed out via an atomic counter — trials have uneven cost, so static
+// partitioning would waste a core.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace antdense::util {
+
+/// Returns a sensible default worker count for this machine (>= 1).
+unsigned default_thread_count();
+
+/// Invokes fn(i) for every i in [0, num_tasks), distributing indices over
+/// `num_threads` workers.  fn must be safe to call concurrently for
+/// distinct indices.  The first exception thrown by any task is rethrown
+/// on the calling thread after all workers join.
+void parallel_for(std::size_t num_tasks,
+                  const std::function<void(std::size_t)>& fn,
+                  unsigned num_threads = 0);
+
+}  // namespace antdense::util

@@ -1,0 +1,56 @@
+// End-position distribution of a single m-step walk — Lemma 9's
+// max-probability bound O(1/(m+1) + 1/A) and the per-axis Claims 6/7.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "walk/random_walk.hpp"
+
+namespace antdense::walk {
+
+struct DisplacementStats {
+  double max_position_probability = 0.0;  // max_v P[walk ends at v]
+  double origin_probability = 0.0;        // P[walk ends at its origin]
+  std::uint64_t distinct_positions = 0;
+  std::uint64_t trials = 0;
+};
+
+/// Runs `trials` m-step walks from a fixed origin and tabulates the
+/// empirical end-position distribution.
+template <graph::Topology T>
+DisplacementStats measure_displacement(const T& topo,
+                                       typename T::node_type origin,
+                                       std::uint32_t m, std::uint64_t trials,
+                                       std::uint64_t seed) {
+  rng::Xoshiro256pp gen(rng::derive_seed(seed, m, 0xD15Fu));
+  std::unordered_map<std::uint64_t, std::uint64_t> ends;
+  ends.reserve(static_cast<std::size_t>(trials) * 2);
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    const auto end = walk_steps(topo, origin, m, gen);
+    ++ends[topo.key(end)];
+  }
+  DisplacementStats out;
+  out.trials = trials;
+  out.distinct_positions = ends.size();
+  std::uint64_t max_count = 0;
+  for (const auto& [key, count] : ends) {
+    if (count > max_count) {
+      max_count = count;
+    }
+  }
+  out.max_position_probability =
+      static_cast<double>(max_count) / static_cast<double>(trials);
+  const auto it = ends.find(topo.key(origin));
+  out.origin_probability =
+      it == ends.end()
+          ? 0.0
+          : static_cast<double>(it->second) / static_cast<double>(trials);
+  return out;
+}
+
+}  // namespace antdense::walk

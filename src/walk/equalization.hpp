@@ -1,0 +1,111 @@
+// Equalization (return-to-origin) measurements — Corollary 10 (the
+// probability that a walk is back at its origin after m steps is
+// Θ(1/(m+1)) + O(1/A) on the 2-D torus, 0 for odd m) and Corollary 16
+// (moments of the equalization count over t steps grow as
+// k! w^k log^k(2t)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "util/parallel.hpp"
+
+namespace antdense::walk {
+
+struct EqualizationCurve {
+  /// probability[m] = empirical P[walk is at its origin after m steps].
+  std::vector<double> probability;
+  std::vector<std::uint64_t> hits;
+  std::uint64_t trials = 0;
+};
+
+/// Measures the equalization probability at every m <= m_max.
+template <graph::Topology T>
+EqualizationCurve measure_equalization_curve(const T& topo,
+                                             std::uint32_t m_max,
+                                             std::uint64_t trials,
+                                             std::uint64_t seed,
+                                             unsigned threads = 0) {
+  constexpr std::uint64_t kBlock = 4096;
+  const std::uint64_t num_blocks = (trials + kBlock - 1) / kBlock;
+  std::vector<std::vector<std::uint64_t>> block_hits(
+      num_blocks, std::vector<std::uint64_t>(m_max + 1, 0));
+
+  util::parallel_for(
+      num_blocks,
+      [&](std::size_t block) {
+        rng::Xoshiro256pp gen(rng::derive_seed(seed, block, 0xE0AAu));
+        auto& hits = block_hits[block];
+        const std::uint64_t begin = block * kBlock;
+        const std::uint64_t end =
+            begin + kBlock < trials ? begin + kBlock : trials;
+        for (std::uint64_t trial = begin; trial < end; ++trial) {
+          const typename T::node_type origin = topo.random_node(gen);
+          const std::uint64_t origin_key = topo.key(origin);
+          typename T::node_type u = origin;
+          ++hits[0];
+          for (std::uint32_t m = 1; m <= m_max; ++m) {
+            u = topo.random_neighbor(u, gen);
+            if (topo.key(u) == origin_key) {
+              ++hits[m];
+            }
+          }
+        }
+      },
+      threads);
+
+  EqualizationCurve out;
+  out.trials = trials;
+  out.hits.assign(m_max + 1, 0);
+  for (const auto& hits : block_hits) {
+    for (std::uint32_t m = 0; m <= m_max; ++m) {
+      out.hits[m] += hits[m];
+    }
+  }
+  out.probability.reserve(m_max + 1);
+  for (std::uint32_t m = 0; m <= m_max; ++m) {
+    out.probability.push_back(static_cast<double>(out.hits[m]) /
+                              static_cast<double>(trials));
+  }
+  return out;
+}
+
+/// Samples the number of equalizations (returns to origin) of a t-step
+/// walk; one count per trial (the Corollary 16 random variable).
+template <graph::Topology T>
+std::vector<double> equalization_counts(const T& topo, std::uint32_t t,
+                                        std::uint64_t trials,
+                                        std::uint64_t seed,
+                                        unsigned threads = 0) {
+  std::vector<double> counts(trials, 0.0);
+  constexpr std::uint64_t kBlock = 1024;
+  const std::uint64_t num_blocks = (trials + kBlock - 1) / kBlock;
+  util::parallel_for(
+      num_blocks,
+      [&](std::size_t block) {
+        rng::Xoshiro256pp gen(rng::derive_seed(seed, block, 0xE0BBu));
+        const std::uint64_t begin = block * kBlock;
+        const std::uint64_t end =
+            begin + kBlock < trials ? begin + kBlock : trials;
+        for (std::uint64_t trial = begin; trial < end; ++trial) {
+          const typename T::node_type origin = topo.random_node(gen);
+          const std::uint64_t origin_key = topo.key(origin);
+          typename T::node_type u = origin;
+          std::uint64_t c = 0;
+          for (std::uint32_t m = 1; m <= t; ++m) {
+            u = topo.random_neighbor(u, gen);
+            if (topo.key(u) == origin_key) {
+              ++c;
+            }
+          }
+          counts[trial] = static_cast<double>(c);
+        }
+      },
+      threads);
+  return counts;
+}
+
+}  // namespace antdense::walk

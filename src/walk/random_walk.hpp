@@ -1,0 +1,43 @@
+// Single-walk utilities: stepping, path recording.  The lemma-level
+// experiments (re-collision, equalization, displacement) build on these.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace antdense::walk {
+
+/// Advances a walker `steps` times and returns its final node.
+template <graph::Topology T>
+typename T::node_type walk_steps(const T& topo, typename T::node_type start,
+                                 std::uint32_t steps,
+                                 rng::Xoshiro256pp& gen) {
+  typename T::node_type u = start;
+  for (std::uint32_t s = 0; s < steps; ++s) {
+    u = topo.random_neighbor(u, gen);
+  }
+  return u;
+}
+
+/// Records the full path: result[0] = start, result[m] = position after m
+/// steps.  Used by tests that need the trajectory.
+template <graph::Topology T>
+std::vector<typename T::node_type> walk_path(const T& topo,
+                                             typename T::node_type start,
+                                             std::uint32_t steps,
+                                             rng::Xoshiro256pp& gen) {
+  std::vector<typename T::node_type> path;
+  path.reserve(steps + 1);
+  path.push_back(start);
+  typename T::node_type u = start;
+  for (std::uint32_t s = 0; s < steps; ++s) {
+    u = topo.random_neighbor(u, gen);
+    path.push_back(u);
+  }
+  return path;
+}
+
+}  // namespace antdense::walk

@@ -1,0 +1,174 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace antdense::core {
+namespace {
+
+TEST(BetaCurves, Torus2DFormula) {
+  EXPECT_DOUBLE_EQ(beta_torus2d(0, 100), 1.0 + 0.01);
+  EXPECT_DOUBLE_EQ(beta_torus2d(9, 100), 0.1 + 0.01);
+}
+
+TEST(BetaCurves, RingDecaysSlower) {
+  for (std::uint32_t m : {3u, 15u, 63u}) {
+    EXPECT_GT(beta_ring(m, 1u << 20), beta_torus2d(m, 1u << 20));
+  }
+}
+
+TEST(BetaCurves, HigherDimensionDecaysFaster) {
+  for (std::uint32_t m : {3u, 15u, 63u}) {
+    EXPECT_LT(beta_torus_kd(m, 3, 1u << 20), beta_torus2d(m, 1u << 20));
+    EXPECT_LT(beta_torus_kd(m, 4, 1u << 20), beta_torus_kd(m, 3, 1u << 20));
+  }
+}
+
+TEST(BetaCurves, ExpanderGeometric) {
+  EXPECT_DOUBLE_EQ(beta_expander(0, 0.5, 1u << 20), 1.0 + std::pow(2.0, -20));
+  EXPECT_DOUBLE_EQ(beta_expander(10, 0.5, 1u << 20),
+                   std::pow(0.5, 10) + 1.0 / (1u << 20));
+  EXPECT_THROW(beta_expander(1, 1.5, 100), std::invalid_argument);
+}
+
+TEST(BetaCurves, HypercubeFloorIsSqrtA) {
+  const std::uint64_t a = 1u << 16;
+  EXPECT_NEAR(beta_hypercube(1000, a), 1.0 / 256.0, 1e-9);
+}
+
+TEST(BOfT, Torus2DIsHarmonic) {
+  // B(t) = sum 1/(m+1) + (t+1)/A ~ H_{t+1}.
+  const double b = b_torus2d(1000, 1u << 30);
+  EXPECT_NEAR(b, std::log(1001.0) + 0.5772, 0.01);
+}
+
+TEST(BOfT, RingIsSqrt) {
+  const double b = b_ring(10000, 1u << 30);
+  // sum_{m=0}^{t} (m+1)^{-1/2} ~ 2 sqrt(t).
+  EXPECT_NEAR(b, 2.0 * std::sqrt(10001.0), 3.0);
+}
+
+TEST(BOfT, K3IsBounded) {
+  // Constant for k >= 3: zeta(3/2) ≈ 2.612.
+  EXPECT_NEAR(b_torus_kd(100000, 3, 1ull << 40), 2.612, 0.05);
+}
+
+TEST(BOfT, ExpanderIsGeometricSeries) {
+  EXPECT_NEAR(b_expander(10000, 0.5, 1ull << 40), 2.0, 0.01);
+}
+
+TEST(BOfT, HypercubeIsConstantPlusFloor) {
+  const std::uint64_t a = 1ull << 30;
+  const double b = b_hypercube(1000, a);
+  // 1 + sum_{m>=1} 0.9^{m-1} = 1 + 10 = 11 plus tiny floor term.
+  EXPECT_NEAR(b, 11.0, 0.15);
+}
+
+TEST(Theorem1Epsilon, ShrinksWithTAndD) {
+  EXPECT_GT(theorem1_epsilon(1000, 0.01, 0.05),
+            theorem1_epsilon(10000, 0.01, 0.05));
+  EXPECT_GT(theorem1_epsilon(1000, 0.01, 0.05),
+            theorem1_epsilon(1000, 0.1, 0.05));
+}
+
+TEST(Theorem1Epsilon, GrowsWithConfidence) {
+  EXPECT_LT(theorem1_epsilon(1000, 0.01, 0.1),
+            theorem1_epsilon(1000, 0.01, 0.001));
+}
+
+TEST(Theorem1Epsilon, MatchesFormula) {
+  const double eps = theorem1_epsilon(512, 0.05, 0.1, 2.0);
+  EXPECT_NEAR(eps,
+              2.0 * std::sqrt(std::log(10.0) / (512 * 0.05)) *
+                  std::log(1024.0),
+              1e-12);
+}
+
+TEST(Theorem1Rounds, InverseRelationApproximatelyHolds) {
+  // Rounds from the bound should deliver at most the requested epsilon
+  // when plugged back into the epsilon form (up to the log(2t) vs
+  // [loglog + log(1/de)]^2 slack — allow factor 4).
+  const double eps = 0.2, d = 0.05, delta = 0.05;
+  const std::uint64_t t = theorem1_rounds(eps, d, delta);
+  const double eps_back =
+      theorem1_epsilon(static_cast<std::uint32_t>(t), d, delta);
+  EXPECT_LT(eps_back, 4.0 * eps);
+}
+
+TEST(Theorem1Rounds, ScalesInverseSquareEpsilon) {
+  const std::uint64_t loose = theorem1_rounds(0.2, 0.01, 0.05);
+  const std::uint64_t tight = theorem1_rounds(0.1, 0.01, 0.05);
+  // Quadratic in 1/eps plus log^2 factor: ratio in [4, 8].
+  const double ratio =
+      static_cast<double>(tight) / static_cast<double>(loose);
+  EXPECT_GT(ratio, 3.9);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(Lemma19Epsilon, ReducesToTheorem1WithLogB) {
+  const std::uint32_t t = 4096;
+  const double d = 0.02, delta = 0.05;
+  const double b = std::log(2.0 * t);
+  EXPECT_NEAR(lemma19_epsilon(t, d, delta, b),
+              theorem1_epsilon(t, d, delta), 1e-12);
+}
+
+TEST(Theorem21Ring, EpsilonIndependentOfLogDelta) {
+  // Chebyshev analysis: linear in 1/delta, fourth-root in t.
+  const double e1 = theorem21_epsilon_ring(10000, 0.05, 0.1);
+  const double e2 = theorem21_epsilon_ring(160000, 0.05, 0.1);
+  EXPECT_NEAR(e1 / e2, 2.0, 1e-9);  // t^{1/4} scaling: 16^{1/4}=2
+}
+
+TEST(Theorem21Rounds, QuadraticallyWorseThanTheorem1) {
+  const std::uint64_t ring = theorem21_rounds_ring(0.1, 0.05, 0.1);
+  const std::uint64_t torus = theorem1_rounds(0.1, 0.05, 0.1);
+  EXPECT_GT(ring, torus);
+}
+
+TEST(IndependentSampling, ChernoffForms) {
+  const double eps = independent_sampling_epsilon(1000, 0.05, 0.05);
+  EXPECT_NEAR(eps, std::sqrt(6.0 * std::log(40.0) / (1000 * 0.05)), 1e-12);
+  const std::uint64_t t = independent_sampling_rounds(0.1, 0.05, 0.05);
+  EXPECT_EQ(t, static_cast<std::uint64_t>(std::ceil(
+                   3.0 * std::log(40.0) / (0.05 * 0.01))));
+}
+
+TEST(Theorem27, BudgetScalesLinearlyInV) {
+  const double small = theorem27_n2t(0.1, 0.1, 5.0, 4.0, 1000);
+  const double large = theorem27_n2t(0.1, 0.1, 5.0, 4.0, 10000);
+  EXPECT_NEAR(large / small, 10.0, 1e-9);
+}
+
+TEST(Theorem27, EpsilonInvertsN2T) {
+  const double eps =
+      theorem27_epsilon(1000, 50, 0.1, 5.0, 4.0, 10000);
+  ASSERT_LT(eps, 1.0);
+  const double budget = theorem27_n2t(eps, 0.1, 5.0, 4.0, 10000);
+  EXPECT_NEAR(budget, 1000.0 * 1000.0 * 50.0, 1.0);
+}
+
+TEST(Theorem31, WalksFormula) {
+  EXPECT_EQ(theorem31_walks(0.1, 0.1, 8.0, 2.0),
+            static_cast<std::uint64_t>(std::ceil(4.0 / (0.01 * 0.1))));
+  EXPECT_THROW(theorem31_walks(0.1, 0.1, 1.0, 2.0), std::invalid_argument);
+}
+
+TEST(BurnInRounds, MatchesSpectralFormula) {
+  EXPECT_EQ(burn_in_rounds(1000, 0.1, 0.5),
+            static_cast<std::uint64_t>(std::ceil(std::log(10000.0) / 0.5)));
+}
+
+TEST(AllBounds, RejectInvalidParameters) {
+  EXPECT_THROW(theorem1_epsilon(0, 0.1, 0.1), std::invalid_argument);
+  EXPECT_THROW(theorem1_epsilon(10, 0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(theorem1_epsilon(10, 0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(theorem1_rounds(0.0, 0.1, 0.1), std::invalid_argument);
+  EXPECT_THROW(theorem1_rounds(1.0, 0.1, 0.1), std::invalid_argument);
+  EXPECT_THROW(theorem27_n2t(0.1, 0.1, -1.0, 4.0, 10), std::invalid_argument);
+  EXPECT_THROW(burn_in_rounds(10, 0.1, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace antdense::core

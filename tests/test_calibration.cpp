@@ -1,0 +1,81 @@
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/torus2d.hpp"
+#include "sim/density_sim.hpp"
+#include "stats/accumulator.hpp"
+
+namespace antdense::core {
+namespace {
+
+TEST(Calibration, ValidatesModel) {
+  NoiseModel bad;
+  bad.miss_probability = 1.0;
+  EXPECT_THROW(calibrate_estimate(0.1, bad), std::invalid_argument);
+  bad.miss_probability = 0.0;
+  bad.spurious_probability = -0.1;
+  EXPECT_THROW(calibrate_estimate(0.1, bad), std::invalid_argument);
+  EXPECT_THROW(calibrate_estimate(-0.1, NoiseModel{}),
+               std::invalid_argument);
+}
+
+TEST(Calibration, NoNoiseIsIdentity) {
+  EXPECT_DOUBLE_EQ(calibrate_estimate(0.123, NoiseModel{}), 0.123);
+}
+
+TEST(Calibration, InvertsLinearModelExactly) {
+  NoiseModel noise;
+  noise.miss_probability = 0.4;
+  noise.spurious_probability = 0.02;
+  const double d = 0.1;
+  const double observed = (1.0 - 0.4) * d + 0.02;
+  EXPECT_NEAR(calibrate_estimate(observed, noise), d, 1e-12);
+}
+
+TEST(Calibration, ClampsAtZero) {
+  NoiseModel noise;
+  noise.spurious_probability = 0.1;
+  EXPECT_DOUBLE_EQ(calibrate_estimate(0.05, noise), 0.0);
+}
+
+TEST(Calibration, ErrorPropagationScale) {
+  NoiseModel noise;
+  noise.miss_probability = 0.5;
+  EXPECT_DOUBLE_EQ(calibrated_absolute_error(0.01, noise), 0.02);
+}
+
+TEST(Calibration, RecoversTruthFromNoisySimulation) {
+  // End-to-end Section 6.1 loop: run the noisy engine, calibrate each
+  // agent's estimate, and check the calibrated mean hits the true d.
+  const graph::Torus2D torus(24, 24);
+  // Note: miss and spurious push in opposite directions, so pick rates
+  // that clearly do NOT cancel at this density (0.6*d + 0.01 << d).
+  NoiseModel noise;
+  noise.miss_probability = 0.4;
+  noise.spurious_probability = 0.01;
+  sim::DensityConfig cfg;
+  cfg.num_agents = 60;
+  cfg.rounds = 150;
+  cfg.detection_miss_probability = noise.miss_probability;
+  cfg.spurious_collision_probability = noise.spurious_probability;
+  const double d = 59.0 / 576.0;
+  stats::Accumulator raw, calibrated;
+  for (std::uint64_t trial = 0; trial < 80; ++trial) {
+    const auto r = sim::run_density_walk(torus, cfg, 0xCA1 + trial);
+    for (double e : r.estimates()) {
+      raw.add(e);
+      calibrated.add(calibrate_estimate(e, noise));
+    }
+  }
+  // Raw is biased: (1-p)d + s != d.
+  EXPECT_GT(std::fabs(raw.mean() - d), 0.1 * d);
+  // Calibrated is unbiased within Monte Carlo error.
+  EXPECT_NEAR(calibrated.mean(), d, 5.0 * calibrated.standard_error() +
+                                        0.02 * d);
+}
+
+}  // namespace
+}  // namespace antdense::core

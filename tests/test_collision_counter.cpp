@@ -1,0 +1,93 @@
+#include "sim/collision_counter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace antdense::sim {
+namespace {
+
+TEST(CollisionCounter, RequiresPositiveCapacity) {
+  EXPECT_THROW(CollisionCounter(0), std::invalid_argument);
+}
+
+TEST(CollisionCounter, AddBeforeBeginRoundThrows) {
+  CollisionCounter c(4);
+  EXPECT_THROW(c.add(1), std::invalid_argument);
+}
+
+TEST(CollisionCounter, CountsWithinRound) {
+  CollisionCounter c(8);
+  c.begin_round();
+  EXPECT_EQ(c.add(42), 1u);
+  EXPECT_EQ(c.add(42), 2u);
+  EXPECT_EQ(c.add(42), 3u);
+  EXPECT_EQ(c.add(7), 1u);
+  EXPECT_EQ(c.occupancy(42), 3u);
+  EXPECT_EQ(c.occupancy(7), 1u);
+  EXPECT_EQ(c.occupancy(99), 0u);
+}
+
+TEST(CollisionCounter, RoundsAreIndependent) {
+  CollisionCounter c(8);
+  c.begin_round();
+  c.add(5);
+  c.add(5);
+  c.begin_round();
+  EXPECT_EQ(c.occupancy(5), 0u);
+  EXPECT_EQ(c.add(5), 1u);
+}
+
+TEST(CollisionCounter, OccupancyBeforeFirstRoundIsZero) {
+  CollisionCounter c(4);
+  EXPECT_EQ(c.occupancy(1), 0u);
+}
+
+TEST(CollisionCounter, HandlesCollidingHashSlots) {
+  // Fill to declared capacity with distinct keys spanning a wide range;
+  // linear probing must keep all counts separate.
+  constexpr std::size_t kKeys = 64;
+  CollisionCounter c(kKeys);
+  c.begin_round();
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(c.add(k * 0x9E3779B97F4A7C15ULL), 1u);
+  }
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(c.occupancy(k * 0x9E3779B97F4A7C15ULL), 1u);
+  }
+}
+
+TEST(CollisionCounter, OverCapacityIsAnInvariantViolation) {
+  CollisionCounter c(2);
+  c.begin_round();
+  c.add(1);
+  c.add(2);
+  EXPECT_THROW(c.add(3), std::logic_error);
+}
+
+TEST(CollisionCounter, RepeatedKeysDoNotConsumeCapacity) {
+  CollisionCounter c(2);
+  c.begin_round();
+  for (int i = 0; i < 100; ++i) {
+    c.add(77);
+  }
+  EXPECT_EQ(c.occupancy(77), 100u);
+  EXPECT_EQ(c.add(78), 1u);
+}
+
+TEST(CollisionCounter, ManyRoundsStayCorrect) {
+  CollisionCounter c(4);
+  for (int r = 0; r < 10000; ++r) {
+    c.begin_round();
+    c.add(r % 7);
+    c.add(r % 7);
+    EXPECT_EQ(c.occupancy(r % 7), 2u);
+  }
+}
+
+TEST(CollisionCounter, CapacityIsPowerOfTwoTimesFour) {
+  CollisionCounter c(10);
+  EXPECT_GE(c.capacity(), 40u);
+  EXPECT_EQ(c.capacity() & (c.capacity() - 1), 0u);
+}
+
+}  // namespace
+}  // namespace antdense::sim

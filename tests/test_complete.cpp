@@ -1,0 +1,72 @@
+#include "graph/complete.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "rng/xoshiro256pp.hpp"
+
+namespace antdense::graph {
+namespace {
+
+TEST(CompleteGraph, BasicProperties) {
+  const CompleteGraph g(100);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.degree(), 99u);
+}
+
+TEST(CompleteGraph, RejectsTooSmall) {
+  EXPECT_THROW(CompleteGraph(1), std::invalid_argument);
+}
+
+TEST(CompleteGraph, NeighborNeverSelf) {
+  const CompleteGraph g(10);
+  rng::Xoshiro256pp gen(11);
+  for (std::uint64_t u = 0; u < 10; ++u) {
+    for (int i = 0; i < 100; ++i) {
+      const auto v = g.random_neighbor(u, gen);
+      EXPECT_NE(v, u);
+      EXPECT_LT(v, 10u);
+    }
+  }
+}
+
+TEST(CompleteGraph, NeighborUniformOverOthers) {
+  const CompleteGraph g(5);
+  rng::Xoshiro256pp gen(12);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[g.random_neighbor(2, gen)];
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts.count(2), 0u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.25, 0.01);
+  }
+}
+
+TEST(CompleteGraph, SelfExclusionShiftCorrect) {
+  // With u = 0, raw draws r >= 0 must map to r+1 (never 0).
+  const CompleteGraph g(3);
+  rng::Xoshiro256pp gen(13);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = g.random_neighbor(0, gen);
+    EXPECT_TRUE(v == 1 || v == 2);
+  }
+}
+
+TEST(CompleteGraph, ForEachNeighborSkipsSelf) {
+  const CompleteGraph g(6);
+  int count = 0;
+  bool saw_self = false;
+  g.for_each_neighbor(3, [&](CompleteGraph::node_type v) {
+    ++count;
+    if (v == 3) saw_self = true;
+  });
+  EXPECT_EQ(count, 5);
+  EXPECT_FALSE(saw_self);
+}
+
+}  // namespace
+}  // namespace antdense::graph

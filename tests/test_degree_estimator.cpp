@@ -1,0 +1,79 @@
+#include "netsize/degree_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "stats/accumulator.hpp"
+
+namespace antdense::netsize {
+namespace {
+
+using graph::Graph;
+
+TEST(DegreeFromPositions, ExactOnExplicitSample) {
+  const Graph g = graph::make_star_graph(5);  // hub deg 4, leaves deg 1
+  // Sample = {hub, leaf}: mean inverse degree = (1/4 + 1)/2 = 0.625.
+  const double est = estimate_average_degree_from_positions(g, {0, 1});
+  EXPECT_DOUBLE_EQ(est, 1.0 / 0.625);
+}
+
+TEST(DegreeFromPositions, RegularGraphIsExact) {
+  const Graph g = graph::make_ring_graph(12);
+  const double est = estimate_average_degree_from_positions(g, {0, 5, 7});
+  EXPECT_DOUBLE_EQ(est, 2.0);
+}
+
+TEST(DegreeFromPositions, RejectsEmpty) {
+  const Graph g = graph::make_ring_graph(5);
+  EXPECT_THROW(estimate_average_degree_from_positions(g, {}),
+               std::invalid_argument);
+}
+
+TEST(EstimateAverageDegree, StationaryModeConvergesToTruth) {
+  // Theorem 31: with stationary samples, E[D] = 1/avg_deg exactly; the
+  // average over many runs must match the true average degree 2|E|/|V|.
+  const Graph g = graph::make_barabasi_albert_graph(300, 3, 51);
+  const double truth = g.average_degree();
+  stats::Accumulator acc;
+  for (std::uint64_t trial = 0; trial < 150; ++trial) {
+    const auto r =
+        estimate_average_degree(g, 400, true, 0, 0, 900 + trial);
+    acc.add(r.inverse_degree_mean);
+  }
+  EXPECT_NEAR(acc.mean(), 1.0 / truth, 4.0 * acc.standard_error() + 1e-9);
+}
+
+TEST(EstimateAverageDegree, BurnInModeApproachesStationary) {
+  // After long burn-in on a non-bipartite connected graph, estimates from
+  // crawled walks match the stationary-mode estimates.
+  const Graph g = graph::make_barabasi_albert_graph(200, 2, 61);
+  stats::Accumulator crawled;
+  stats::Accumulator ideal;
+  for (std::uint64_t trial = 0; trial < 60; ++trial) {
+    crawled.add(estimate_average_degree(g, 200, false, 200, 0, 1300 + trial)
+                    .average_degree_estimate);
+    ideal.add(estimate_average_degree(g, 200, true, 0, 0, 1300 + trial)
+                  .average_degree_estimate);
+  }
+  EXPECT_NEAR(crawled.mean(), ideal.mean(),
+              4.0 * (crawled.standard_error() + ideal.standard_error()));
+}
+
+TEST(EstimateAverageDegree, ValidatesInputs) {
+  const Graph g = graph::make_ring_graph(6);
+  EXPECT_THROW(estimate_average_degree(g, 0, true, 0, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_average_degree(g, 5, false, 10, 99, 1),
+               std::invalid_argument);
+}
+
+TEST(EstimateAverageDegree, ResultFieldsConsistent) {
+  const Graph g = graph::make_ring_graph(10);
+  const auto r = estimate_average_degree(g, 50, true, 0, 0, 2);
+  EXPECT_EQ(r.samples, 50u);
+  EXPECT_NEAR(r.inverse_degree_mean * r.average_degree_estimate, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.average_degree_estimate, 2.0);  // regular: exact
+}
+
+}  // namespace
+}  // namespace antdense::netsize

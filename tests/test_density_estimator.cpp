@@ -1,0 +1,86 @@
+#include "core/density_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/complete.hpp"
+#include "graph/torus2d.hpp"
+#include "stats/accumulator.hpp"
+#include "stats/concentration.hpp"
+
+namespace antdense::core {
+namespace {
+
+using graph::CompleteGraph;
+using graph::Torus2D;
+
+TEST(EstimateDensity, ResultShapeAndTruth) {
+  const Torus2D torus(16, 16);
+  const auto result = estimate_density(torus, 10, 100, 1);
+  EXPECT_EQ(result.estimates.size(), 10u);
+  EXPECT_DOUBLE_EQ(result.true_density, 9.0 / 256.0);
+  EXPECT_EQ(result.rounds, 100u);
+}
+
+TEST(EstimateDensity, NeedsTwoAgents) {
+  const Torus2D torus(8, 8);
+  EXPECT_THROW(estimate_density(torus, 1, 10, 1), std::invalid_argument);
+}
+
+TEST(EstimateDensity, DeterministicInSeed) {
+  const Torus2D torus(16, 16);
+  const auto a = estimate_density(torus, 12, 64, 5);
+  const auto b = estimate_density(torus, 12, 64, 5);
+  EXPECT_EQ(a.estimates, b.estimates);
+}
+
+TEST(EstimateDensity, ConcentratesWithMoreRounds) {
+  // Dense-enough torus so single runs already show shrinkage: compare
+  // cross-agent spread at t=64 vs t=4096.
+  const Torus2D torus(64, 64);
+  constexpr std::uint32_t kAgents = 410;  // d ~ 0.1
+  const auto coarse = estimate_density(torus, kAgents, 64, 9);
+  const auto fine = estimate_density(torus, kAgents, 4096, 9);
+  stats::Accumulator coarse_acc, fine_acc;
+  for (double e : coarse.estimates) coarse_acc.add(e);
+  for (double e : fine.estimates) fine_acc.add(e);
+  EXPECT_LT(fine_acc.sample_stddev(), coarse_acc.sample_stddev());
+}
+
+TEST(EstimateDensity, TheoremOneBudgetDeliversAccuracy) {
+  // End-to-end: ask bounds for the t that achieves (eps=0.25, delta=0.1)
+  // at d~0.1 and verify the empirical quantile of the relative error.
+  const Torus2D torus(64, 64);
+  constexpr std::uint32_t kAgents = 410;
+  const double d = (kAgents - 1.0) / 4096.0;
+  const auto t = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(recommended_rounds(0.25, d, 0.1), 4096));
+  std::vector<double> all;
+  for (std::uint64_t trial = 0; trial < 4; ++trial) {
+    const auto result = estimate_density(torus, kAgents, t, 100 + trial);
+    all.insert(all.end(), result.estimates.begin(), result.estimates.end());
+  }
+  const double eps90 = stats::epsilon_at_confidence(all, d, 0.9);
+  EXPECT_LT(eps90, 0.25) << "t=" << t;
+}
+
+TEST(EstimateDensity, CompleteGraphMatchesChernoffScale) {
+  const CompleteGraph g(4096);
+  constexpr std::uint32_t kAgents = 410;
+  const double d = (kAgents - 1.0) / 4096.0;
+  const auto result = estimate_density(g, kAgents, 2048, 17);
+  const double eps90 =
+      stats::epsilon_at_confidence(result.estimates, d, 0.9);
+  // Chernoff at delta=0.1: sqrt(6 log 20/(t d)) ~ 0.3; empirical should
+  // be in the same ballpark (well under 2x).
+  EXPECT_LT(eps90, 0.3);
+}
+
+TEST(RecommendedRounds, DelegatesToTheorem1) {
+  EXPECT_EQ(recommended_rounds(0.1, 0.05, 0.01),
+            theorem1_rounds(0.1, 0.05, 0.01));
+}
+
+}  // namespace
+}  // namespace antdense::core

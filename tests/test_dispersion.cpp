@@ -1,0 +1,69 @@
+#include "swarm/dispersion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/torus2d.hpp"
+
+namespace antdense::swarm {
+namespace {
+
+using graph::Torus2D;
+
+DispersionConfig basic_config() {
+  DispersionConfig cfg;
+  cfg.num_agents = 100;
+  cfg.epochs = 6;
+  cfg.rounds_per_epoch = 60;
+  cfg.density_threshold = 0.05;
+  cfg.initial_patch_side = 8;
+  return cfg;
+}
+
+TEST(Dispersion, Validation) {
+  const Torus2D torus(64, 64);
+  DispersionConfig cfg = basic_config();
+  cfg.num_agents = 1;
+  EXPECT_THROW(run_dispersion(torus, cfg, 1), std::invalid_argument);
+  cfg = basic_config();
+  cfg.epochs = 0;
+  EXPECT_THROW(run_dispersion(torus, cfg, 1), std::invalid_argument);
+  cfg = basic_config();
+  cfg.initial_patch_side = 100;  // larger than torus
+  EXPECT_THROW(run_dispersion(torus, cfg, 1), std::invalid_argument);
+}
+
+TEST(Dispersion, ProducesOneStatPerEpoch) {
+  const Torus2D torus(64, 64);
+  const DispersionResult r = run_dispersion(torus, basic_config(), 2);
+  EXPECT_EQ(r.epochs.size(), 6u);
+}
+
+TEST(Dispersion, SpreadImprovesFromClusteredStart) {
+  const Torus2D torus(64, 64);
+  const DispersionResult r = run_dispersion(torus, basic_config(), 3);
+  // Starting packed in an 8x8 patch, the final spread ratio should be
+  // clearly better (larger) than the first epoch's.
+  EXPECT_GT(r.epochs.back().spread_ratio, r.epochs.front().spread_ratio);
+  // And the swarm should approach uniform spread (ratio near 1).
+  EXPECT_GT(r.epochs.back().spread_ratio, 0.6);
+}
+
+TEST(Dispersion, DensityEstimatesFallAsSwarmSpreads) {
+  const Torus2D torus(64, 64);
+  const DispersionResult r = run_dispersion(torus, basic_config(), 4);
+  EXPECT_LT(r.epochs.back().mean_density_estimate,
+            r.epochs.front().mean_density_estimate);
+}
+
+TEST(Dispersion, FractionsAreProbabilities) {
+  const Torus2D torus(64, 64);
+  const DispersionResult r = run_dispersion(torus, basic_config(), 5);
+  for (const auto& epoch : r.epochs) {
+    EXPECT_GE(epoch.fraction_overcrowded, 0.0);
+    EXPECT_LE(epoch.fraction_overcrowded, 1.0);
+    EXPECT_GE(epoch.spread_ratio, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace antdense::swarm

@@ -1,0 +1,62 @@
+#include "walk/displacement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/torus2d.hpp"
+
+namespace antdense::walk {
+namespace {
+
+using graph::Torus2D;
+
+TEST(MeasureDisplacement, ZeroStepsStaysAtOrigin) {
+  const Torus2D torus(16, 16);
+  const auto stats =
+      measure_displacement(torus, Torus2D::pack(4, 4), 0, 100, 1);
+  EXPECT_DOUBLE_EQ(stats.origin_probability, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max_position_probability, 1.0);
+  EXPECT_EQ(stats.distinct_positions, 1u);
+}
+
+TEST(MeasureDisplacement, OneStepUniformOverNeighbors) {
+  const Torus2D torus(16, 16);
+  const auto stats =
+      measure_displacement(torus, Torus2D::pack(4, 4), 1, 40000, 2);
+  EXPECT_EQ(stats.distinct_positions, 4u);
+  EXPECT_NEAR(stats.max_position_probability, 0.25, 0.02);
+  EXPECT_DOUBLE_EQ(stats.origin_probability, 0.0);
+}
+
+TEST(MeasureDisplacement, MaxProbabilityDecaysLikeOneOverM) {
+  // Lemma 9: max_v P[end at v] = O(1/(m+1) + 1/A).
+  const Torus2D torus(128, 128);
+  const auto m16 =
+      measure_displacement(torus, Torus2D::pack(64, 64), 16, 200000, 3);
+  const auto m64 =
+      measure_displacement(torus, Torus2D::pack(64, 64), 64, 200000, 3);
+  // Ratio should be roughly 4; accept [2, 8].
+  const double ratio =
+      m16.max_position_probability / m64.max_position_probability;
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(MeasureDisplacement, OriginProbabilityMatchesEqualization) {
+  // After an even number of steps, P[back at origin] ~ known 2-step 1/4.
+  const Torus2D torus(64, 64);
+  const auto stats =
+      measure_displacement(torus, Torus2D::pack(10, 10), 2, 60000, 4);
+  EXPECT_NEAR(stats.origin_probability, 0.25, 0.01);
+}
+
+TEST(MeasureDisplacement, SpreadGrowsWithM) {
+  const Torus2D torus(128, 128);
+  const auto small =
+      measure_displacement(torus, Torus2D::pack(0, 0), 4, 20000, 5);
+  const auto large =
+      measure_displacement(torus, Torus2D::pack(0, 0), 64, 20000, 5);
+  EXPECT_GT(large.distinct_positions, small.distinct_positions);
+}
+
+}  // namespace
+}  // namespace antdense::walk

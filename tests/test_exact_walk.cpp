@@ -1,0 +1,115 @@
+#include "spectral/exact_walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/explicit_topology.hpp"
+#include "graph/generators.hpp"
+#include "stats/bootstrap.hpp"
+#include "walk/equalization.hpp"
+#include "walk/recollision.hpp"
+
+namespace antdense::spectral {
+namespace {
+
+using graph::Graph;
+
+TEST(WalkDistribution, ZeroStepsIsPointMass) {
+  const Graph g = graph::make_ring_graph(6);
+  const auto dist = walk_distribution(g, 2, 0);
+  EXPECT_DOUBLE_EQ(dist[2], 1.0);
+}
+
+TEST(ExactEqualization, RingTwoSteps) {
+  const Graph g = graph::make_ring_graph(10);
+  EXPECT_NEAR(exact_equalization_probability(g, 0, 2), 0.5, 1e-12);
+  EXPECT_NEAR(exact_equalization_probability(g, 0, 1), 0.0, 1e-12);
+}
+
+TEST(ExactEqualization, Torus2DKnownValues) {
+  const Graph g = graph::make_torus2d_graph(9, 9);
+  // m=2: 1/4.  m=4: 36/256 (see test_equalization derivation).
+  EXPECT_NEAR(exact_equalization_probability(g, 0, 2), 0.25, 1e-12);
+  EXPECT_NEAR(exact_equalization_probability(g, 0, 4), 36.0 / 256.0, 1e-12);
+}
+
+TEST(ExactRecollision, Torus2DOneStep) {
+  const Graph g = graph::make_torus2d_graph(9, 9);
+  // Two walkers from one node land together iff same neighbor: 1/4.
+  EXPECT_NEAR(exact_recollision_probability(g, 0, 1), 0.25, 1e-12);
+}
+
+TEST(ExactRecollision, CompleteGraphValue) {
+  const Graph g = graph::make_complete_graph(5);
+  // Both uniform over the 4 others: sum over 4 nodes of (1/4)^2 = 1/4.
+  EXPECT_NEAR(exact_recollision_probability(g, 0, 1), 0.25, 1e-12);
+}
+
+TEST(ExactCurves, VertexTransitivityMakesAverageMatchSingleStart) {
+  const Graph g = graph::make_torus2d_graph(7, 7);
+  const auto curve = exact_recollision_curve(g, 6);
+  for (std::uint32_t m = 0; m <= 6; ++m) {
+    EXPECT_NEAR(curve[m], exact_recollision_probability(g, 0, m), 1e-12)
+        << "m=" << m;
+  }
+}
+
+TEST(ExactCurves, MonteCarloEqualizationMatchesOracle) {
+  const Graph g = graph::make_torus2d_graph(8, 8);
+  const graph::ExplicitTopology topo(g);
+  constexpr std::uint32_t kMMax = 12;
+  constexpr std::uint64_t kTrials = 150000;
+  const auto exact = exact_equalization_curve(g, kMMax);
+  const auto sampled =
+      walk::measure_equalization_curve(topo, kMMax, kTrials, 0xA1, 2);
+  for (std::uint32_t m = 0; m <= kMMax; ++m) {
+    const auto ci =
+        stats::wilson_interval(sampled.hits[m], kTrials, 0.999);
+    EXPECT_TRUE(exact[m] >= ci.lower - 1e-12 && exact[m] <= ci.upper + 1e-12)
+        << "m=" << m << " exact=" << exact[m] << " sampled CI ["
+        << ci.lower << "," << ci.upper << "]";
+  }
+}
+
+TEST(ExactCurves, MonteCarloRecollisionMatchesOracle) {
+  const Graph g = graph::make_torus2d_graph(8, 8);
+  const graph::ExplicitTopology topo(g);
+  constexpr std::uint32_t kMMax = 12;
+  constexpr std::uint64_t kTrials = 150000;
+  const auto exact = exact_recollision_curve(g, kMMax);
+  const auto sampled =
+      walk::measure_recollision_curve(topo, kMMax, kTrials, 0xA2, 2);
+  for (std::uint32_t m = 0; m <= kMMax; ++m) {
+    const auto ci =
+        stats::wilson_interval(sampled.hits[m], kTrials, 0.999);
+    EXPECT_TRUE(exact[m] >= ci.lower - 1e-12 && exact[m] <= ci.upper + 1e-12)
+        << "m=" << m << " exact=" << exact[m] << " sampled CI ["
+        << ci.lower << "," << ci.upper << "]";
+  }
+}
+
+TEST(ExactCurves, HypercubeOracleMatchesSampling) {
+  const Graph g = graph::make_hypercube_graph(6);
+  const graph::ExplicitTopology topo(g);
+  constexpr std::uint32_t kMMax = 8;
+  constexpr std::uint64_t kTrials = 100000;
+  const auto exact = exact_recollision_curve(g, kMMax);
+  const auto sampled =
+      walk::measure_recollision_curve(topo, kMMax, kTrials, 0xA3, 2);
+  for (std::uint32_t m = 1; m <= kMMax; ++m) {
+    const auto ci = stats::wilson_interval(sampled.hits[m], kTrials, 0.999);
+    EXPECT_TRUE(exact[m] >= ci.lower && exact[m] <= ci.upper) << "m=" << m;
+  }
+}
+
+TEST(ExactRecollision, DecreasesWithM) {
+  const Graph g = graph::make_torus2d_graph(15, 15);
+  double prev = 1.0;
+  for (std::uint32_t m = 1; m <= 10; ++m) {
+    const double p = exact_recollision_probability(g, 0, m);
+    EXPECT_LE(p, prev + 1e-12) << "m=" << m;
+    prev = p;
+  }
+}
+
+}  // namespace
+}  // namespace antdense::spectral

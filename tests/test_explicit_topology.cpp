@@ -1,0 +1,91 @@
+#include "graph/explicit_topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace antdense::graph {
+namespace {
+
+TEST(ExplicitTopology, RequiresRegularity) {
+  const Graph star = make_star_graph(5);
+  EXPECT_THROW(ExplicitTopology{star}, std::invalid_argument);
+}
+
+TEST(ExplicitTopology, ExposesGraphProperties) {
+  const Graph g = make_ring_graph(12);
+  const ExplicitTopology topo(g, "ring");
+  EXPECT_EQ(topo.num_nodes(), 12u);
+  EXPECT_EQ(topo.degree(), 2u);
+  EXPECT_EQ(&topo.graph(), &g);
+  EXPECT_NE(topo.name().find("ring"), std::string::npos);
+}
+
+TEST(ExplicitTopology, RandomNeighborRespectsAdjacency) {
+  const Graph g = make_hypercube_graph(4);
+  const ExplicitTopology topo(g);
+  rng::Xoshiro256pp gen(31);
+  for (int i = 0; i < 500; ++i) {
+    const auto u = topo.random_node(gen);
+    const auto v = topo.random_neighbor(u, gen);
+    bool adjacent = false;
+    for (Graph::vertex w : g.neighbors(u)) {
+      if (w == v) {
+        adjacent = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(adjacent) << u << " -> " << v;
+  }
+}
+
+TEST(ExplicitTopology, NeighborChoiceUniform) {
+  const Graph g = make_complete_graph(5);
+  const ExplicitTopology topo(g);
+  rng::Xoshiro256pp gen(32);
+  std::map<std::uint32_t, int> counts;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[topo.random_neighbor(0, gen)];
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.25, 0.01);
+  }
+}
+
+TEST(ExplicitTopology, KeyIsVertexId) {
+  const Graph g = make_ring_graph(6);
+  const ExplicitTopology topo(g);
+  for (Graph::vertex v = 0; v < 6; ++v) {
+    EXPECT_EQ(topo.key(v), v);
+  }
+}
+
+TEST(ExplicitTopology, WalkMatchesImplicitRingStatistics) {
+  // Explicit ring and implicit Ring must produce identically-distributed
+  // walk end points; compare occupancy histograms loosely.
+  const Graph g = make_ring_graph(16);
+  const ExplicitTopology topo(g);
+  rng::Xoshiro256pp gen(33);
+  std::vector<int> counts(16, 0);
+  constexpr int kTrials = 32000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ExplicitTopology::node_type u = 0;
+    for (int s = 0; s < 8; ++s) {
+      u = topo.random_neighbor(u, gen);
+    }
+    ++counts[u];
+  }
+  // After 8 steps from vertex 0 only even vertices are reachable.
+  for (int v = 1; v < 16; v += 2) {
+    EXPECT_EQ(counts[v], 0) << "odd vertex " << v;
+  }
+  EXPECT_GT(counts[0], 0);
+}
+
+}  // namespace
+}  // namespace antdense::graph

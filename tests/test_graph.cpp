@@ -1,0 +1,99 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace antdense::graph {
+namespace {
+
+Graph triangle() {
+  return Graph::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (Graph::vertex v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.degree(v), 2u);
+  }
+}
+
+TEST(Graph, NeighborsSortedAndSymmetric) {
+  const Graph g = Graph::from_edges(4, {{1, 0}, {3, 1}, {1, 2}});
+  const auto nbrs = g.neighbors(1);
+  std::vector<Graph::vertex> v(nbrs.begin(), nbrs.end());
+  EXPECT_EQ(v, (std::vector<Graph::vertex>{0, 2, 3}));
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+}
+
+TEST(Graph, NeighborIndexAccess) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.neighbor(0, 0), 1u);
+  EXPECT_EQ(g.neighbor(0, 1), 2u);
+}
+
+TEST(Graph, RejectsOutOfRangeEdges) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 2}}), std::invalid_argument);
+}
+
+TEST(Graph, ParallelEdgesCounted) {
+  const Graph g = Graph::from_edges(2, {{0, 1}, {0, 1}});
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, SelfLoopAppearsTwiceInAdjacency) {
+  const Graph g = Graph::from_edges(2, {{0, 0}, {0, 1}});
+  EXPECT_EQ(g.degree(0), 3u);  // loop contributes 2 + edge contributes 1
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Graph, IsRegularDetectsRegularity) {
+  std::uint32_t d = 0;
+  EXPECT_TRUE(triangle().is_regular(&d));
+  EXPECT_EQ(d, 2u);
+  const Graph star = Graph::from_edges(3, {{0, 1}, {0, 2}});
+  EXPECT_FALSE(star.is_regular());
+}
+
+TEST(Graph, IsRegularNullOutIsFine) {
+  EXPECT_TRUE(triangle().is_regular(nullptr));
+}
+
+TEST(Graph, DegreeExtremesAndAverage) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 6.0 / 4.0);
+}
+
+TEST(Graph, SumDegreeSquared) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  // degrees: 3,1,1,1 -> 9+1+1+1 = 12
+  EXPECT_EQ(g.sum_degree_squared(), 12u);
+}
+
+TEST(Graph, LargeGraphConstruction) {
+  std::vector<std::pair<Graph::vertex, Graph::vertex>> edges;
+  constexpr std::uint32_t n = 10000;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    edges.emplace_back(i, i + 1);
+  }
+  const Graph g = Graph::from_edges(n, edges);
+  EXPECT_EQ(g.num_vertices(), n);
+  EXPECT_EQ(g.num_edges(), n - 1);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+}  // namespace
+}  // namespace antdense::graph

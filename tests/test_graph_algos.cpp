@@ -1,0 +1,84 @@
+#include "graph/algos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/generators.hpp"
+
+namespace antdense::graph {
+namespace {
+
+TEST(BfsDistances, PathGraphDistances) {
+  const Graph g = make_path_graph(5);
+  const auto dist = bfs_distances(g, 0);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(dist[i], i);
+  }
+}
+
+TEST(BfsDistances, UnreachableMarked) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(BfsDistances, RejectsBadSource) {
+  EXPECT_THROW(bfs_distances(make_path_graph(3), 5), std::invalid_argument);
+}
+
+TEST(IsConnected, DetectsBothCases) {
+  EXPECT_TRUE(is_connected(make_ring_graph(10)));
+  EXPECT_FALSE(is_connected(Graph::from_edges(4, {{0, 1}, {2, 3}})));
+  EXPECT_FALSE(is_connected(Graph()));
+}
+
+TEST(ConnectedComponents, Counts) {
+  EXPECT_EQ(connected_component_count(make_ring_graph(5)), 1u);
+  // {0,1}, {2,3}, {4}, {5} -> 4 components.
+  EXPECT_EQ(connected_component_count(Graph::from_edges(6, {{0, 1}, {2, 3}})),
+            4u);
+}
+
+TEST(IsBipartite, ClassicalCases) {
+  EXPECT_TRUE(is_bipartite(make_ring_graph(8)));    // even cycle
+  EXPECT_FALSE(is_bipartite(make_ring_graph(9)));   // odd cycle
+  EXPECT_TRUE(is_bipartite(make_path_graph(7)));
+  EXPECT_TRUE(is_bipartite(make_star_graph(12)));
+  EXPECT_TRUE(is_bipartite(make_hypercube_graph(5)));
+  EXPECT_FALSE(is_bipartite(make_complete_graph(3)));
+}
+
+TEST(IsBipartite, SelfLoopBreaksBipartiteness) {
+  EXPECT_FALSE(is_bipartite(Graph::from_edges(2, {{0, 0}, {0, 1}})));
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(make_complete_graph(7)), 1u);
+  EXPECT_EQ(diameter(make_ring_graph(10)), 5u);
+  EXPECT_EQ(diameter(make_path_graph(6)), 5u);
+  EXPECT_EQ(diameter(make_hypercube_graph(3)), 3u);
+}
+
+TEST(Diameter, RequiresConnected) {
+  EXPECT_THROW(diameter(Graph::from_edges(4, {{0, 1}, {2, 3}})),
+               std::invalid_argument);
+}
+
+TEST(DegreeStats, StarGraph) {
+  const DegreeStats s = degree_stats(make_star_graph(5));
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 8.0 / 5.0);
+  EXPECT_GT(s.variance, 0.0);
+}
+
+TEST(DegreeStats, RegularGraphZeroVariance) {
+  const DegreeStats s = degree_stats(make_ring_graph(6));
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+}
+
+}  // namespace
+}  // namespace antdense::graph

@@ -1,0 +1,95 @@
+#include "graph/hypercube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "rng/xoshiro256pp.hpp"
+
+namespace antdense::graph {
+namespace {
+
+TEST(Hypercube, BasicProperties) {
+  const Hypercube h(10);
+  EXPECT_EQ(h.num_nodes(), 1024u);
+  EXPECT_EQ(h.degree(), 10u);
+  EXPECT_EQ(h.dimensions(), 10u);
+}
+
+TEST(Hypercube, RejectsBadDimensions) {
+  EXPECT_THROW(Hypercube(0), std::invalid_argument);
+  EXPECT_THROW(Hypercube(64), std::invalid_argument);
+}
+
+TEST(Hypercube, NeighborsAtHammingDistanceOne) {
+  const Hypercube h(8);
+  rng::Xoshiro256pp gen(6);
+  const Hypercube::node_type u = 0b10110101;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = h.random_neighbor(u, gen);
+    EXPECT_EQ(Hypercube::hamming(u, v), 1u);
+    EXPECT_LT(v, h.num_nodes());
+  }
+}
+
+TEST(Hypercube, NeighborBitUniform) {
+  const Hypercube h(4);
+  rng::Xoshiro256pp gen(7);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[h.random_neighbor(0, gen)];
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.25, 0.01);
+  }
+}
+
+TEST(Hypercube, RandomNodeInRange) {
+  const Hypercube h(6);
+  rng::Xoshiro256pp gen(8);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LT(h.random_node(gen), 64u);
+  }
+}
+
+TEST(Hypercube, HammingHelper) {
+  EXPECT_EQ(Hypercube::hamming(0b0000, 0b1111), 4u);
+  EXPECT_EQ(Hypercube::hamming(0b1010, 0b1010), 0u);
+  EXPECT_EQ(Hypercube::hamming(0b1000, 0b0000), 1u);
+}
+
+TEST(Hypercube, ForEachNeighborEnumeratesAllBitFlips) {
+  const Hypercube h(5);
+  std::map<std::uint64_t, int> seen;
+  h.for_each_neighbor(0b00101, [&](Hypercube::node_type v) { ++seen[v]; });
+  EXPECT_EQ(seen.size(), 5u);
+  for (const auto& [v, c] : seen) {
+    EXPECT_EQ(Hypercube::hamming(0b00101, v), 1u);
+  }
+}
+
+TEST(Hypercube, WalkStaysInRange) {
+  const Hypercube h(12);
+  rng::Xoshiro256pp gen(9);
+  Hypercube::node_type u = h.random_node(gen);
+  for (int i = 0; i < 1000; ++i) {
+    u = h.random_neighbor(u, gen);
+    EXPECT_LT(u, h.num_nodes());
+  }
+}
+
+TEST(Hypercube, ParityAlternates) {
+  // The hypercube is bipartite by popcount parity: each step flips it.
+  const Hypercube h(7);
+  rng::Xoshiro256pp gen(10);
+  Hypercube::node_type u = 0;
+  for (int i = 1; i <= 100; ++i) {
+    u = h.random_neighbor(u, gen);
+    EXPECT_EQ(__builtin_popcountll(u) % 2, i % 2);
+  }
+}
+
+}  // namespace
+}  // namespace antdense::graph

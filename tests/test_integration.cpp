@@ -1,0 +1,164 @@
+// End-to-end integration tests spanning modules: estimator + bounds on
+// every topology; the full network-size pipeline (burn-in + Algorithm 3 +
+// Algorithm 2) on a crawled graph; Monte Carlo engine vs exact spectral
+// evolution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/density_estimator.hpp"
+#include "graph/complete.hpp"
+#include "graph/explicit_topology.hpp"
+#include "graph/generators.hpp"
+#include "graph/hypercube.hpp"
+#include "graph/ring.hpp"
+#include "graph/torus2d.hpp"
+#include "graph/torus_kd.hpp"
+#include "netsize/size_estimator.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "spectral/walk_matrix.hpp"
+#include "stats/concentration.hpp"
+#include "stats/quantile.hpp"
+#include "walk/random_walk.hpp"
+
+namespace antdense {
+namespace {
+
+// --- Algorithm 1 across all five lattice topologies -----------------------
+// Each topology gets an (A, agents, t) sized so the 90%-quantile of the
+// relative error is comfortably below the checked epsilon.
+
+template <graph::Topology T>
+double measured_eps90(const T& topo, std::uint32_t agents, std::uint32_t t,
+                      std::uint64_t seed, int runs = 3) {
+  std::vector<double> all;
+  double d = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    const auto result =
+        core::estimate_density(topo, agents, t, seed + static_cast<std::uint64_t>(r));
+    d = result.true_density;
+    all.insert(all.end(), result.estimates.begin(), result.estimates.end());
+  }
+  return stats::epsilon_at_confidence(all, d, 0.9);
+}
+
+TEST(EndToEndDensity, Torus2D) {
+  // Theorem 1 at (t=2048, d~0.1, delta=0.1) allows eps ~ 0.9 with c1=1;
+  // the measured process is much better — pin it under 0.3.
+  const graph::Torus2D topo(64, 64);
+  EXPECT_LT(measured_eps90(topo, 410, 2048, 1), 0.3);
+}
+
+TEST(EndToEndDensity, Ring) {
+  // Theorem 21 at (t=8192, d~0.1, delta=0.1) gives eps ~ 1.05 with c=1;
+  // measured ~0.65.  Pin under 0.8 — and far above the torus (see the
+  // ordering test below).
+  const graph::Ring topo(4096);
+  EXPECT_LT(measured_eps90(topo, 410, 8192, 2), 0.8);
+}
+
+TEST(EndToEndDensity, Torus3D) {
+  const graph::TorusKD topo(3, 16);  // 4096 nodes
+  EXPECT_LT(measured_eps90(topo, 410, 2048, 3), 0.2);
+}
+
+TEST(EndToEndDensity, Hypercube) {
+  const graph::Hypercube topo(12);  // 4096 nodes
+  EXPECT_LT(measured_eps90(topo, 410, 2048, 4), 0.2);
+}
+
+TEST(EndToEndDensity, CompleteGraph) {
+  const graph::CompleteGraph topo(4096);
+  EXPECT_LT(measured_eps90(topo, 410, 2048, 5), 0.2);
+}
+
+TEST(EndToEndDensity, RandomRegularExpander) {
+  const graph::Graph g = graph::make_random_regular_graph(4096, 8, 99);
+  const graph::ExplicitTopology topo(g, "expander");
+  EXPECT_LT(measured_eps90(topo, 410, 2048, 6), 0.2);
+}
+
+TEST(EndToEndDensity, AccuracyOrderingMatchesTheory) {
+  // At equal (A, n, t) the ring must be worst; complete and hypercube
+  // and 3-D torus should beat the 2-D torus's log factor (allow ties).
+  const std::uint32_t agents = 410, t = 1024;
+  const double ring = measured_eps90(graph::Ring(4096), agents, t, 7);
+  const double torus2 =
+      measured_eps90(graph::Torus2D(64, 64), agents, t, 7);
+  const double complete =
+      measured_eps90(graph::CompleteGraph(4096), agents, t, 7);
+  EXPECT_GT(ring, torus2);
+  EXPECT_GE(torus2 * 1.05, complete);  // torus no better than complete
+}
+
+// --- Engine vs exact spectral evolution ------------------------------------
+
+TEST(EngineVsSpectral, WalkOccupancyMatchesMatrixPower) {
+  // Distribution of a walker after m steps from vertex 0 on an explicit
+  // torus must match e_0 W^m within Monte Carlo tolerance.
+  const graph::Graph g = graph::make_torus2d_graph(5, 5);
+  const graph::ExplicitTopology topo(g, "torus");
+  constexpr std::uint32_t kSteps = 7;
+  constexpr int kTrials = 200000;
+  std::vector<double> empirical(25, 0.0);
+  rng::Xoshiro256pp gen(11);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto end = walk::walk_steps(topo, 0u, kSteps, gen);
+    empirical[end] += 1.0 / kTrials;
+  }
+  std::vector<double> exact(25, 0.0);
+  exact[0] = 1.0;
+  exact = spectral::evolve(g, exact, kSteps);
+  EXPECT_LT(spectral::tv_distance(empirical, exact), 0.01);
+}
+
+// --- Full network-size pipeline --------------------------------------------
+
+TEST(NetsizePipeline, CrawledBarabasiAlbert) {
+  // Crawl-style: seed vertex, burn-in from measured lambda, Algorithm 3
+  // degree estimate, Algorithm 2 size estimate, median over repetitions.
+  const graph::Graph g = graph::make_barabasi_albert_graph(600, 3, 123);
+  const double lambda = spectral::second_eigenvalue_magnitude(g);
+  ASSERT_LT(lambda, 1.0);
+  netsize::SizeEstimationConfig cfg;
+  cfg.num_walks = 80;
+  cfg.rounds = 80;
+  cfg.burn_in = static_cast<std::uint32_t>(
+      core::burn_in_rounds(g.num_edges(), 0.1, lambda));
+  cfg.seed_vertex = 0;
+  const auto r = netsize::estimate_network_size_median(g, cfg, 7, 321);
+  ASSERT_TRUE(r.saw_collision);
+  EXPECT_NEAR(r.size_estimate, 600.0, 150.0);
+  EXPECT_EQ(r.link_queries, 7ull * 80ull * (cfg.burn_in + cfg.rounds));
+}
+
+TEST(NetsizePipeline, WalkLengthVsWalkCountTradeoff) {
+  // Theorem 27: accuracy depends on n^2 t.  A configuration with fewer
+  // walks but longer counting (same n^2 t) should deliver comparable
+  // error — the paper's headline tradeoff.
+  const graph::Graph g = graph::make_torus_kd_graph(3, 8);  // 512 vertices
+  auto run_median_err = [&](std::uint32_t walks, std::uint32_t rounds,
+                            std::uint64_t seed) {
+    std::vector<double> errs;
+    for (std::uint64_t trial = 0; trial < 40; ++trial) {
+      netsize::SizeEstimationConfig cfg;
+      cfg.num_walks = walks;
+      cfg.rounds = rounds;
+      cfg.start_stationary = true;
+      const auto r =
+          netsize::estimate_network_size(g, cfg, seed + trial);
+      if (r.saw_collision) {
+        errs.push_back(std::fabs(r.size_estimate - 512.0) / 512.0);
+      }
+    }
+    return stats::median(errs);
+  };
+  const double wide = run_median_err(64, 16, 1000);   // n²t = 65536
+  const double deep = run_median_err(16, 256, 2000);  // n²t = 65536
+  EXPECT_LT(deep, 3.0 * wide + 0.05);
+  EXPECT_LT(wide, 3.0 * deep + 0.05);
+}
+
+}  // namespace
+}  // namespace antdense

@@ -1,0 +1,96 @@
+#include "netsize/katzir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "stats/quantile.hpp"
+
+namespace antdense::netsize {
+namespace {
+
+using graph::Graph;
+
+TEST(Katzir, ValidatesConfig) {
+  const Graph g = graph::make_ring_graph(8);
+  KatzirConfig cfg;
+  cfg.num_walks = 1;
+  EXPECT_THROW(katzir_estimate(g, cfg, 1), std::invalid_argument);
+  cfg.num_walks = 4;
+  cfg.seed_vertex = 50;
+  EXPECT_THROW(katzir_estimate(g, cfg, 1), std::invalid_argument);
+}
+
+TEST(Katzir, DeterministicInSeed) {
+  const Graph g = graph::make_torus_kd_graph(3, 5);
+  KatzirConfig cfg;
+  cfg.num_walks = 64;
+  cfg.start_stationary = true;
+  const auto a = katzir_estimate(g, cfg, 3);
+  const auto b = katzir_estimate(g, cfg, 3);
+  EXPECT_DOUBLE_EQ(a.size_estimate, b.size_estimate);
+}
+
+TEST(Katzir, MedianNearTruthOnRegularGraph) {
+  const Graph g = graph::make_torus_kd_graph(3, 6);  // 216 vertices
+  KatzirConfig cfg;
+  cfg.num_walks = 96;  // ~sqrt(216)*6.5: plenty of birthday collisions
+  cfg.start_stationary = true;
+  std::vector<double> estimates;
+  for (std::uint64_t trial = 0; trial < 80; ++trial) {
+    const auto r = katzir_estimate(g, cfg, 400 + trial);
+    if (r.saw_collision) {
+      estimates.push_back(r.size_estimate);
+    }
+  }
+  ASSERT_GT(estimates.size(), 70u);
+  EXPECT_NEAR(stats::median(estimates), 216.0, 50.0);
+}
+
+TEST(Katzir, MedianNearTruthOnSkewedGraph) {
+  const Graph g = graph::make_barabasi_albert_graph(300, 3, 71);
+  KatzirConfig cfg;
+  cfg.num_walks = 120;
+  cfg.start_stationary = true;
+  std::vector<double> estimates;
+  for (std::uint64_t trial = 0; trial < 80; ++trial) {
+    const auto r = katzir_estimate(g, cfg, 500 + trial);
+    if (r.saw_collision) {
+      estimates.push_back(r.size_estimate);
+    }
+  }
+  ASSERT_GT(estimates.size(), 60u);
+  EXPECT_NEAR(stats::median(estimates), 300.0, 90.0);
+}
+
+TEST(Katzir, QueryAccountingIsWalksTimesBurnIn) {
+  const Graph g = graph::make_torus_kd_graph(3, 5);
+  KatzirConfig cfg;
+  cfg.num_walks = 20;
+  cfg.burn_in = 35;
+  const auto r = katzir_estimate(g, cfg, 7);
+  EXPECT_EQ(r.link_queries, 700u);
+}
+
+TEST(Katzir, StationaryModeIsFree) {
+  const Graph g = graph::make_torus_kd_graph(3, 5);
+  KatzirConfig cfg;
+  cfg.num_walks = 20;
+  cfg.start_stationary = true;
+  const auto r = katzir_estimate(g, cfg, 8);
+  EXPECT_EQ(r.link_queries, 0u);
+}
+
+TEST(Katzir, NoCollisionGivesInfinity) {
+  const Graph g = graph::make_torus_kd_graph(3, 12);  // 1728 vertices
+  KatzirConfig cfg;
+  cfg.num_walks = 2;
+  cfg.start_stationary = true;
+  const auto r = katzir_estimate(g, cfg, 9);
+  EXPECT_FALSE(r.saw_collision);
+  EXPECT_TRUE(std::isinf(r.size_estimate));
+}
+
+}  // namespace
+}  // namespace antdense::netsize

@@ -1,0 +1,87 @@
+#include "netsize/link_query_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace antdense::netsize {
+namespace {
+
+using graph::Graph;
+using graph::make_ring_graph;
+using graph::make_star_graph;
+
+TEST(LinkQueryGraph, CountsOneQueryPerStep) {
+  const Graph g = make_ring_graph(10);
+  LinkQueryGraph access(g);
+  rng::Xoshiro256pp gen(1);
+  Graph::vertex v = 0;
+  for (int i = 0; i < 25; ++i) {
+    v = access.random_neighbor(v, gen);
+  }
+  EXPECT_EQ(access.query_count(), 25u);
+  access.reset_query_count();
+  EXPECT_EQ(access.query_count(), 0u);
+}
+
+TEST(LinkQueryGraph, DegreeIsFree) {
+  const Graph g = make_star_graph(5);
+  LinkQueryGraph access(g);
+  EXPECT_EQ(access.degree(0), 4u);
+  EXPECT_EQ(access.query_count(), 0u);
+}
+
+TEST(LinkQueryGraph, StepsFollowAdjacency) {
+  const Graph g = make_ring_graph(8);
+  LinkQueryGraph access(g);
+  rng::Xoshiro256pp gen(2);
+  Graph::vertex v = 3;
+  for (int i = 0; i < 100; ++i) {
+    const Graph::vertex u = access.random_neighbor(v, gen);
+    EXPECT_TRUE(u == (v + 1) % 8 || u == (v + 7) % 8);
+    v = u;
+  }
+}
+
+TEST(StationarySampler, DegreeProportionalOnStar) {
+  // Star hub has half the total degree mass.
+  const Graph g = make_star_graph(9);  // hub deg 8, 8 leaves deg 1
+  const StationarySampler sampler(g);
+  rng::Xoshiro256pp gen(3);
+  int hub = 0;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    hub += sampler.sample(gen) == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hub) / kDraws, 0.5, 0.01);
+}
+
+TEST(StationarySampler, UniformOnRegularGraph) {
+  const Graph g = make_ring_graph(10);
+  const StationarySampler sampler(g);
+  rng::Xoshiro256pp gen(4);
+  std::map<Graph::vertex, int> counts;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[sampler.sample(gen)];
+  }
+  ASSERT_EQ(counts.size(), 10u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.1, 0.01);
+  }
+}
+
+TEST(StationarySampler, SamplesAlwaysInRange) {
+  const Graph g = graph::make_barabasi_albert_graph(100, 2, 5);
+  const StationarySampler sampler(g);
+  rng::Xoshiro256pp gen(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(sampler.sample(gen), 100u);
+  }
+}
+
+}  // namespace
+}  // namespace antdense::netsize

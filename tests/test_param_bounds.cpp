@@ -1,0 +1,112 @@
+// Property sweep (TEST_P): monotonicity and consistency laws every
+// closed-form bound must satisfy across its whole parameter grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+
+namespace antdense::core {
+namespace {
+
+struct BoundPoint {
+  std::uint32_t t;
+  double d;
+  double delta;
+};
+
+class BoundSweep : public ::testing::TestWithParam<BoundPoint> {};
+
+TEST_P(BoundSweep, Theorem1EpsilonMonotoneInT) {
+  const auto& p = GetParam();
+  EXPECT_GT(theorem1_epsilon(p.t, p.d, p.delta),
+            theorem1_epsilon(p.t * 4, p.d, p.delta));
+}
+
+TEST_P(BoundSweep, Theorem1EpsilonMonotoneInDensity) {
+  const auto& p = GetParam();
+  if (p.d * 4 <= 1.0) {
+    EXPECT_GT(theorem1_epsilon(p.t, p.d, p.delta),
+              theorem1_epsilon(p.t, p.d * 4, p.delta));
+  }
+}
+
+TEST_P(BoundSweep, Theorem1EpsilonMonotoneInDelta) {
+  const auto& p = GetParam();
+  EXPECT_LT(theorem1_epsilon(p.t, p.d, p.delta),
+            theorem1_epsilon(p.t, p.d, p.delta / 10.0));
+}
+
+TEST_P(BoundSweep, RingAlwaysNeedsMoreRoundsThanTorus) {
+  const auto& p = GetParam();
+  for (double eps : {0.1, 0.3}) {
+    EXPECT_GE(theorem21_rounds_ring(eps, p.d, p.delta),
+              theorem1_rounds(eps, p.d, p.delta) / 4)
+        << "ring cannot be fundamentally cheaper";
+  }
+}
+
+TEST_P(BoundSweep, BetaOrderingTorusFamilies) {
+  // At every m, ring >= torus2d >= torus3d >= torus4d (slower mixing
+  // means more re-collisions).
+  const std::uint64_t a = 1ull << 30;
+  for (std::uint32_t m : {1u, 7u, 63u, 511u}) {
+    EXPECT_GE(beta_ring(m, a), beta_torus2d(m, a));
+    EXPECT_GE(beta_torus2d(m, a), beta_torus_kd(m, 3, a));
+    EXPECT_GE(beta_torus_kd(m, 3, a), beta_torus_kd(m, 4, a));
+  }
+}
+
+TEST_P(BoundSweep, BOfTIsMonotoneAndSuperadditiveInT) {
+  const auto& p = GetParam();
+  const std::uint64_t a = 1ull << 30;
+  EXPECT_LT(b_torus2d(p.t, a), b_torus2d(p.t * 2, a));
+  EXPECT_LT(b_ring(p.t, a), b_ring(p.t * 2, a));
+  // Ring mass grows much faster than torus mass.
+  EXPECT_GT(b_ring(p.t * 2, a) - b_ring(p.t, a),
+            b_torus2d(p.t * 2, a) - b_torus2d(p.t, a));
+}
+
+TEST_P(BoundSweep, Lemma19RecoversTheorem1WithHarmonicB) {
+  const auto& p = GetParam();
+  const double eps_l19 =
+      lemma19_epsilon(p.t, p.d, p.delta, std::log(2.0 * p.t));
+  const double eps_t1 = theorem1_epsilon(p.t, p.d, p.delta);
+  EXPECT_NEAR(eps_l19, eps_t1, 1e-12);
+}
+
+TEST_P(BoundSweep, IndependentSamplingAlwaysBeatsTheorem1Budget) {
+  const auto& p = GetParam();
+  for (double eps : {0.1, 0.3}) {
+    EXPECT_LE(independent_sampling_rounds(eps, p.d, p.delta),
+              theorem1_rounds(eps, p.d, p.delta))
+        << "independent sampling is the lower reference";
+  }
+}
+
+TEST_P(BoundSweep, Theorem27BudgetMonotone) {
+  const auto& p = GetParam();
+  EXPECT_LT(theorem27_n2t(0.2, p.delta, 5.0, 4.0, 1000),
+            theorem27_n2t(0.1, p.delta, 5.0, 4.0, 1000));
+  EXPECT_LT(theorem27_n2t(0.2, p.delta, 5.0, 4.0, 1000),
+            theorem27_n2t(0.2, p.delta, 10.0, 4.0, 1000));
+  EXPECT_LT(theorem27_n2t(0.2, p.delta, 5.0, 4.0, 1000),
+            theorem27_n2t(0.2, p.delta / 2.0, 5.0, 4.0, 1000));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BoundSweep,
+    ::testing::Values(BoundPoint{256, 0.01, 0.1},
+                      BoundPoint{256, 0.1, 0.01},
+                      BoundPoint{1024, 0.05, 0.1},
+                      BoundPoint{1024, 0.2, 0.001},
+                      BoundPoint{8192, 0.01, 0.05},
+                      BoundPoint{8192, 0.2, 0.1}),
+    [](const ::testing::TestParamInfo<BoundPoint>& param_info) {
+      return "t" + std::to_string(param_info.param.t) + "_d" +
+             std::to_string(static_cast<int>(param_info.param.d * 100)) + "_delta" +
+             std::to_string(static_cast<int>(param_info.param.delta * 1000));
+    });
+
+}  // namespace
+}  // namespace antdense::core

@@ -1,0 +1,102 @@
+// Property sweep (TEST_P): Algorithm 1 invariants over a grid of
+// (density, rounds) configurations on the 2-D torus — unbiasedness
+// within Monte Carlo error, estimate-granularity, determinism, and
+// error shrinkage in t.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/torus2d.hpp"
+#include "sim/density_sim.hpp"
+#include "sim/trial_runner.hpp"
+#include "stats/accumulator.hpp"
+
+namespace antdense {
+namespace {
+
+struct DensityCase {
+  std::uint32_t side;
+  std::uint32_t agents;
+  std::uint32_t rounds;
+};
+
+class DensitySweep : public ::testing::TestWithParam<DensityCase> {};
+
+TEST_P(DensitySweep, UnbiasedWithinMonteCarloError) {
+  const auto& p = GetParam();
+  const graph::Torus2D torus(p.side, p.side);
+  sim::DensityConfig cfg;
+  cfg.num_agents = p.agents;
+  cfg.rounds = p.rounds;
+  const double d = static_cast<double>(p.agents - 1) /
+                   static_cast<double>(torus.num_nodes());
+  const auto estimates =
+      sim::collect_all_agent_estimates(torus, cfg, 0xD0, 60, 2);
+  stats::Accumulator acc;
+  for (double e : estimates) {
+    acc.add(e);
+  }
+  // Pooled agents within a trial are correlated; standard error from the
+  // pooled count underestimates.  Use 8 sigma plus a floor.
+  EXPECT_NEAR(acc.mean(), d, 8.0 * acc.standard_error() + 0.02 * d);
+}
+
+TEST_P(DensitySweep, EstimatesAreCountsOverRounds) {
+  const auto& p = GetParam();
+  const graph::Torus2D torus(p.side, p.side);
+  sim::DensityConfig cfg;
+  cfg.num_agents = p.agents;
+  cfg.rounds = p.rounds;
+  const auto result = sim::run_density_walk(torus, cfg, 0xD1);
+  for (double e : result.estimates()) {
+    const double scaled = e * p.rounds;
+    EXPECT_GE(e, 0.0);
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+  }
+}
+
+TEST_P(DensitySweep, DeterministicAcrossThreadCounts) {
+  const auto& p = GetParam();
+  const graph::Torus2D torus(p.side, p.side);
+  sim::DensityConfig cfg;
+  cfg.num_agents = p.agents;
+  cfg.rounds = std::min(p.rounds, 64u);
+  const auto one = sim::collect_all_agent_estimates(torus, cfg, 0xD2, 6, 1);
+  const auto two = sim::collect_all_agent_estimates(torus, cfg, 0xD2, 6, 2);
+  EXPECT_EQ(one, two);
+}
+
+TEST_P(DensitySweep, QuadruplingRoundsShrinksSpread) {
+  const auto& p = GetParam();
+  const graph::Torus2D torus(p.side, p.side);
+  auto spread_at = [&](std::uint32_t t) {
+    sim::DensityConfig cfg;
+    cfg.num_agents = p.agents;
+    cfg.rounds = t;
+    const auto estimates =
+        sim::collect_all_agent_estimates(torus, cfg, 0xD3, 10, 2);
+    stats::Accumulator acc;
+    for (double e : estimates) {
+      acc.add(e);
+    }
+    return acc.sample_stddev();
+  };
+  EXPECT_LT(spread_at(p.rounds * 4), spread_at(p.rounds));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DensitySweep,
+    ::testing::Values(DensityCase{16, 8, 64},     // sparse, small
+                      DensityCase{16, 52, 64},    // d ~ 0.2, small
+                      DensityCase{32, 52, 128},   // d ~ 0.05
+                      DensityCase{32, 205, 128},  // d ~ 0.2
+                      DensityCase{64, 205, 256},  // d ~ 0.05, larger A
+                      DensityCase{64, 820, 256}),  // d ~ 0.2, larger A
+    [](const ::testing::TestParamInfo<DensityCase>& param_info) {
+      return "side" + std::to_string(param_info.param.side) + "_agents" +
+             std::to_string(param_info.param.agents) + "_t" +
+             std::to_string(param_info.param.rounds);
+    });
+
+}  // namespace
+}  // namespace antdense

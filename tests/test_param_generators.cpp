@@ -1,0 +1,154 @@
+// Property sweep (TEST_P): generator contracts across parameter grids —
+// random-regular graphs are simple/regular/connected for every (n, k);
+// ER hits its exact edge budget; BA obeys its minimum-degree law.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/algos.hpp"
+#include "graph/generators.hpp"
+
+namespace antdense::graph {
+namespace {
+
+struct RegularCase {
+  std::uint32_t n;
+  std::uint32_t k;
+};
+
+class RandomRegularSweep : public ::testing::TestWithParam<RegularCase> {};
+
+TEST_P(RandomRegularSweep, SimpleRegularConnected) {
+  const auto& p = GetParam();
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Graph g = make_random_regular_graph(p.n, p.k, seed);
+    std::uint32_t degree = 0;
+    ASSERT_TRUE(g.is_regular(&degree)) << "n=" << p.n << " k=" << p.k;
+    EXPECT_EQ(degree, p.k);
+    // Simplicity: sorted adjacency has no self references or duplicates.
+    for (Graph::vertex v = 0; v < g.num_vertices(); ++v) {
+      const auto nbrs = g.neighbors(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        EXPECT_NE(nbrs[i], v);
+        if (i > 0) {
+          EXPECT_NE(nbrs[i], nbrs[i - 1]);
+        }
+      }
+    }
+    if (p.k >= 3) {
+      EXPECT_TRUE(is_connected(g)) << "n=" << p.n << " k=" << p.k
+                                   << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RandomRegularSweep,
+    ::testing::Values(RegularCase{16, 3}, RegularCase{50, 4},
+                      RegularCase{64, 6}, RegularCase{128, 8},
+                      RegularCase{256, 12}, RegularCase{512, 16},
+                      RegularCase{1024, 10}),
+    [](const ::testing::TestParamInfo<RegularCase>& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "_k" +
+             std::to_string(param_info.param.k);
+    });
+
+struct ErCase {
+  std::uint32_t n;
+  std::uint64_t m;
+};
+
+class ErdosRenyiSweep : public ::testing::TestWithParam<ErCase> {};
+
+TEST_P(ErdosRenyiSweep, ExactEdgeCountNoLoopsNoDuplicates) {
+  const auto& p = GetParam();
+  const Graph g = make_erdos_renyi_graph(p.n, p.m, 0xEE);
+  EXPECT_EQ(g.num_edges(), p.m);
+  std::uint64_t total_degree = 0;
+  for (Graph::vertex v = 0; v < g.num_vertices(); ++v) {
+    total_degree += g.degree(v);
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_NE(nbrs[i], v);
+      if (i > 0) {
+        EXPECT_NE(nbrs[i], nbrs[i - 1]);
+      }
+    }
+  }
+  EXPECT_EQ(total_degree, 2 * p.m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ErdosRenyiSweep,
+    ::testing::Values(ErCase{10, 0}, ErCase{10, 45},  // empty and complete
+                      ErCase{100, 50}, ErCase{100, 500},
+                      ErCase{1000, 3000}),
+    [](const ::testing::TestParamInfo<ErCase>& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "_m" +
+             std::to_string(param_info.param.m);
+    });
+
+struct BaCase {
+  std::uint32_t n;
+  std::uint32_t attach;
+};
+
+class BarabasiAlbertSweep : public ::testing::TestWithParam<BaCase> {};
+
+TEST_P(BarabasiAlbertSweep, MinDegreeAndConnectivity) {
+  const auto& p = GetParam();
+  const Graph g = make_barabasi_albert_graph(p.n, p.attach, 0xBA);
+  EXPECT_EQ(g.num_vertices(), p.n);
+  EXPECT_GE(g.min_degree(), p.attach);
+  EXPECT_TRUE(is_connected(g));
+  // Edge count: seed clique + attach per arrival.
+  const std::uint64_t seed_size = p.attach + 1;
+  const std::uint64_t expected =
+      seed_size * (seed_size - 1) / 2 +
+      static_cast<std::uint64_t>(p.n - seed_size) * p.attach;
+  EXPECT_EQ(g.num_edges(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BarabasiAlbertSweep,
+    ::testing::Values(BaCase{10, 1}, BaCase{100, 2}, BaCase{500, 3},
+                      BaCase{1000, 5}),
+    [](const ::testing::TestParamInfo<BaCase>& param_info) {
+      return "n" + std::to_string(param_info.param.n) + "_attach" +
+             std::to_string(param_info.param.attach);
+    });
+
+struct TorusCase {
+  std::uint32_t dims;
+  std::uint32_t side;
+};
+
+class TorusGraphSweep : public ::testing::TestWithParam<TorusCase> {};
+
+TEST_P(TorusGraphSweep, RegularConnectedRightSize) {
+  const auto& p = GetParam();
+  const Graph g = make_torus_kd_graph(p.dims, p.side);
+  std::uint64_t expect_nodes = 1;
+  for (std::uint32_t i = 0; i < p.dims; ++i) {
+    expect_nodes *= p.side;
+  }
+  EXPECT_EQ(g.num_vertices(), expect_nodes);
+  std::uint32_t degree = 0;
+  ASSERT_TRUE(g.is_regular(&degree));
+  EXPECT_EQ(degree, 2 * p.dims);
+  EXPECT_TRUE(is_connected(g));
+  // Bipartite exactly when the side is even.
+  EXPECT_EQ(is_bipartite(g), p.side % 2 == 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TorusGraphSweep,
+    ::testing::Values(TorusCase{1, 8}, TorusCase{2, 5}, TorusCase{2, 6},
+                      TorusCase{3, 4}, TorusCase{3, 5}, TorusCase{4, 3}),
+    [](const ::testing::TestParamInfo<TorusCase>& param_info) {
+      return "d" + std::to_string(param_info.param.dims) + "_s" +
+             std::to_string(param_info.param.side);
+    });
+
+}  // namespace
+}  // namespace antdense::graph

@@ -1,0 +1,100 @@
+// Property sweep (TEST_P): on every small explicit graph family, the
+// Monte Carlo re-collision and equalization curves must agree with the
+// exact spectral oracle at every step count — the engine-vs-math
+// contract, instantiated across torus/ring/hypercube/complete/expander.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/explicit_topology.hpp"
+#include "graph/generators.hpp"
+#include "spectral/exact_walk.hpp"
+#include "stats/bootstrap.hpp"
+#include "walk/equalization.hpp"
+#include "walk/recollision.hpp"
+
+namespace antdense {
+namespace {
+
+struct GraphCase {
+  std::string label;
+  graph::Graph (*make)();
+};
+
+graph::Graph torus_5x7() { return graph::make_torus2d_graph(5, 7); }
+graph::Graph torus_8x8() { return graph::make_torus2d_graph(8, 8); }
+graph::Graph ring_12() { return graph::make_ring_graph(12); }
+graph::Graph ring_13() { return graph::make_ring_graph(13); }
+graph::Graph hypercube_5() { return graph::make_hypercube_graph(5); }
+graph::Graph complete_9() { return graph::make_complete_graph(9); }
+graph::Graph torus3d_4() { return graph::make_torus_kd_graph(3, 4); }
+graph::Graph expander_64() {
+  return graph::make_random_regular_graph(64, 6, 0xFACE);
+}
+
+class RecollisionOracle : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(RecollisionOracle, SampledRecollisionMatchesExact) {
+  const graph::Graph g = GetParam().make();
+  const graph::ExplicitTopology topo(g, GetParam().label);
+  constexpr std::uint32_t kMMax = 10;
+  constexpr std::uint64_t kTrials = 120000;
+  const auto exact = spectral::exact_recollision_curve(g, kMMax);
+  const auto sampled =
+      walk::measure_recollision_curve(topo, kMMax, kTrials, 0xB0, 2);
+  for (std::uint32_t m = 0; m <= kMMax; ++m) {
+    const auto ci = stats::wilson_interval(sampled.hits[m], kTrials, 0.999);
+    EXPECT_TRUE(exact[m] >= ci.lower - 1e-12 && exact[m] <= ci.upper + 1e-12)
+        << GetParam().label << " m=" << m << " exact=" << exact[m]
+        << " CI [" << ci.lower << "," << ci.upper << "]";
+  }
+}
+
+TEST_P(RecollisionOracle, SampledEqualizationMatchesExact) {
+  const graph::Graph g = GetParam().make();
+  const graph::ExplicitTopology topo(g, GetParam().label);
+  constexpr std::uint32_t kMMax = 10;
+  constexpr std::uint64_t kTrials = 120000;
+  const auto exact = spectral::exact_equalization_curve(g, kMMax);
+  const auto sampled =
+      walk::measure_equalization_curve(topo, kMMax, kTrials, 0xB1, 2);
+  for (std::uint32_t m = 0; m <= kMMax; ++m) {
+    const auto ci = stats::wilson_interval(sampled.hits[m], kTrials, 0.999);
+    EXPECT_TRUE(exact[m] >= ci.lower - 1e-12 && exact[m] <= ci.upper + 1e-12)
+        << GetParam().label << " m=" << m << " exact=" << exact[m]
+        << " CI [" << ci.lower << "," << ci.upper << "]";
+  }
+}
+
+TEST_P(RecollisionOracle, BipartiteParityZeroesMatchOracle) {
+  // Where the oracle says exactly zero (odd steps on bipartite graphs),
+  // sampling must also see exactly zero hits.
+  const graph::Graph g = GetParam().make();
+  const graph::ExplicitTopology topo(g, GetParam().label);
+  constexpr std::uint32_t kMMax = 9;
+  const auto exact = spectral::exact_equalization_curve(g, kMMax);
+  const auto sampled =
+      walk::measure_equalization_curve(topo, kMMax, 20000, 0xB2, 2);
+  for (std::uint32_t m = 0; m <= kMMax; ++m) {
+    if (exact[m] == 0.0) {
+      EXPECT_EQ(sampled.hits[m], 0u) << GetParam().label << " m=" << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, RecollisionOracle,
+    ::testing::Values(GraphCase{"torus5x7", &torus_5x7},
+                      GraphCase{"torus8x8", &torus_8x8},
+                      GraphCase{"ring12", &ring_12},
+                      GraphCase{"ring13", &ring_13},
+                      GraphCase{"hypercube5", &hypercube_5},
+                      GraphCase{"complete9", &complete_9},
+                      GraphCase{"torus3d4", &torus3d_4},
+                      GraphCase{"expander64", &expander_64}),
+    [](const ::testing::TestParamInfo<GraphCase>& param_info) {
+      return param_info.param.label;
+    });
+
+}  // namespace
+}  // namespace antdense

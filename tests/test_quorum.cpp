@@ -1,0 +1,75 @@
+#include "core/quorum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/density_estimator.hpp"
+#include "graph/torus2d.hpp"
+
+namespace antdense::core {
+namespace {
+
+using graph::Torus2D;
+
+TEST(QuorumDetector, ValidatesParameters) {
+  EXPECT_THROW(QuorumDetector(0.0, 0.5, 0.1), std::invalid_argument);
+  EXPECT_THROW(QuorumDetector(1.5, 0.5, 0.1), std::invalid_argument);
+  EXPECT_THROW(QuorumDetector(0.1, 0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(QuorumDetector(0.1, 0.5, 0.0), std::invalid_argument);
+  EXPECT_NO_THROW(QuorumDetector(0.1, 0.5, 0.1));
+}
+
+TEST(QuorumDetector, EpsilonSeparatesBands) {
+  const QuorumDetector q(0.1, 0.5, 0.05);
+  const double eps = q.required_epsilon();
+  // Both decision directions must be safe at this epsilon:
+  // high density (1+gamma)*theta shrunk by (1-eps) still >= midpoint...
+  EXPECT_GE((1.0 - eps) * (1.0 + q.gamma()), 1.0 + q.gamma() / 2.0 - 1e-12);
+  // ...and low density theta inflated by (1+eps) still <= midpoint.
+  EXPECT_LE(1.0 + eps, 1.0 + q.gamma() / 2.0 + 1e-12);
+}
+
+TEST(QuorumDetector, DecisionRuleMidpoint) {
+  const QuorumDetector q(0.2, 0.5, 0.1);
+  EXPECT_TRUE(q.quorum_reached(0.26));   // above 0.2*1.25 = 0.25
+  EXPECT_FALSE(q.quorum_reached(0.24));
+}
+
+TEST(QuorumDetector, RoundsGrowWithTighterGamma) {
+  const QuorumDetector loose(0.1, 0.8, 0.1);
+  const QuorumDetector tight(0.1, 0.2, 0.1);
+  EXPECT_GT(tight.required_rounds(), loose.required_rounds());
+}
+
+TEST(QuorumDetector, EndToEndHighDensityDetected) {
+  // d ~ 0.125 >= theta(1+gamma) = 0.06*2 = 0.12: quorum should fire for
+  // the vast majority of agents at the theory round budget (capped).
+  const Torus2D torus(32, 32);
+  const QuorumDetector q(0.06, 1.0, 0.1);
+  const auto t = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(q.required_rounds(), 4096));
+  const auto result = estimate_density(torus, 129, t, 11);
+  int fired = 0;
+  for (double e : result.estimates) {
+    fired += q.quorum_reached(e) ? 1 : 0;
+  }
+  EXPECT_GT(fired, 120) << "only " << fired << "/129 detected quorum";
+}
+
+TEST(QuorumDetector, EndToEndLowDensityRejected) {
+  // d ~ 0.03 <= theta = 0.06: quorum must NOT fire for most agents.
+  const Torus2D torus(32, 32);
+  const QuorumDetector q(0.06, 1.0, 0.1);
+  const auto t = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(q.required_rounds(), 4096));
+  const auto result = estimate_density(torus, 32, t, 12);
+  int fired = 0;
+  for (double e : result.estimates) {
+    fired += q.quorum_reached(e) ? 1 : 0;
+  }
+  EXPECT_LT(fired, 4) << fired << "/32 false quorums";
+}
+
+}  // namespace
+}  // namespace antdense::core

@@ -1,0 +1,66 @@
+#include "walk/random_walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/ring.hpp"
+#include "graph/torus2d.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace antdense::walk {
+namespace {
+
+using graph::Ring;
+using graph::Torus2D;
+
+TEST(WalkSteps, ZeroStepsReturnsStart) {
+  const Torus2D torus(8, 8);
+  rng::Xoshiro256pp gen(1);
+  const auto start = Torus2D::pack(2, 3);
+  EXPECT_EQ(walk_steps(torus, start, 0, gen), start);
+}
+
+TEST(WalkSteps, ParityOnBipartiteTorus) {
+  // The even-sided torus is bipartite: an m-step walk ends at a node
+  // whose L1 distance from the start has the parity of m.
+  const Torus2D torus(16, 16);
+  rng::Xoshiro256pp gen(2);
+  const auto start = Torus2D::pack(8, 8);
+  for (std::uint32_t m : {1u, 2u, 5u, 8u, 13u}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const auto end = walk_steps(torus, start, m, gen);
+      EXPECT_EQ(torus.l1_distance(start, end) % 2, m % 2)
+          << "m=" << m;
+    }
+  }
+}
+
+TEST(WalkPath, LengthAndAdjacency) {
+  const Torus2D torus(8, 8);
+  rng::Xoshiro256pp gen(3);
+  const auto path = walk_path(torus, Torus2D::pack(0, 0), 20, gen);
+  ASSERT_EQ(path.size(), 21u);
+  EXPECT_EQ(path[0], Torus2D::pack(0, 0));
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_EQ(torus.l1_distance(path[i - 1], path[i]), 1u);
+  }
+}
+
+TEST(WalkPath, RingStepsAreAdjacent) {
+  const Ring ring(10);
+  rng::Xoshiro256pp gen(4);
+  const auto path = walk_path(ring, Ring::node_type{0}, 50, gen);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_EQ(ring.distance(path[i - 1], path[i]), 1u);
+  }
+}
+
+TEST(WalkSteps, DeterministicGivenGeneratorState) {
+  const Torus2D torus(8, 8);
+  rng::Xoshiro256pp a(5);
+  rng::Xoshiro256pp b(5);
+  EXPECT_EQ(walk_steps(torus, Torus2D::pack(1, 1), 100, a),
+            walk_steps(torus, Torus2D::pack(1, 1), 100, b));
+}
+
+}  // namespace
+}  // namespace antdense::walk

@@ -1,0 +1,64 @@
+#include "walk/range.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/complete.hpp"
+#include "graph/ring.hpp"
+#include "graph/torus2d.hpp"
+
+namespace antdense::walk {
+namespace {
+
+TEST(WalkRange, BoundsAndShape) {
+  const graph::Torus2D torus(64, 64);
+  const auto stats = measure_walk_range(torus, 100, 3000, 1, 2);
+  ASSERT_EQ(stats.samples.size(), 3000u);
+  for (double s : stats.samples) {
+    EXPECT_GE(s, 2.0);          // at least start + one neighbor
+    EXPECT_LE(s, 101.0);        // at most t+1 distinct nodes
+  }
+  EXPECT_GT(stats.mean_range_fraction, 0.0);
+  EXPECT_LE(stats.mean_range_fraction, 1.0);
+}
+
+TEST(WalkRange, CompleteGraphNearlyAllDistinct) {
+  // On K_A with A >> t, almost every step hits a fresh node.
+  const graph::CompleteGraph g(1 << 20);
+  const auto stats = measure_walk_range(g, 256, 2000, 2, 2);
+  EXPECT_GT(stats.mean_range_fraction, 0.99);
+}
+
+TEST(WalkRange, RingRangeIsSqrtT) {
+  // 1-D range after t steps ~ sqrt(t): quadrupling t doubles the range.
+  const graph::Ring ring(1 << 20);
+  const auto small = measure_walk_range(ring, 256, 4000, 3, 2);
+  const auto large = measure_walk_range(ring, 1024, 4000, 3, 2);
+  EXPECT_NEAR(large.mean_range / small.mean_range, 2.0, 0.25);
+}
+
+TEST(WalkRange, Torus2DRangeIsTOverLogT) {
+  // Dvoretzky–Erdős: range ~ pi t / log t on the 2-D lattice.  The
+  // fraction range/(t+1) should therefore decay like 1/log t: compare
+  // the product fraction*log(t) at two widely separated t.
+  const graph::Torus2D torus(512, 512);  // large enough to avoid wrap
+  const auto small = measure_walk_range(torus, 256, 3000, 4, 2);
+  const auto large = measure_walk_range(torus, 4096, 3000, 4, 2);
+  EXPECT_LT(large.mean_range_fraction, small.mean_range_fraction);
+  const double product_small =
+      small.mean_range_fraction * std::log(256.0);
+  const double product_large =
+      large.mean_range_fraction * std::log(4096.0);
+  EXPECT_NEAR(product_large / product_small, 1.0, 0.25);
+}
+
+TEST(WalkRange, DeterministicAcrossThreads) {
+  const graph::Torus2D torus(32, 32);
+  const auto a = measure_walk_range(torus, 64, 1000, 5, 1);
+  const auto b = measure_walk_range(torus, 64, 1000, 5, 2);
+  EXPECT_EQ(a.samples, b.samples);
+}
+
+}  // namespace
+}  // namespace antdense::walk

@@ -1,0 +1,79 @@
+#include "graph/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "rng/xoshiro256pp.hpp"
+
+namespace antdense::graph {
+namespace {
+
+TEST(Ring, BasicProperties) {
+  const Ring r(12);
+  EXPECT_EQ(r.num_nodes(), 12u);
+  EXPECT_EQ(r.degree(), 2u);
+}
+
+TEST(Ring, RejectsTooSmall) {
+  EXPECT_THROW(Ring(2), std::invalid_argument);
+}
+
+TEST(Ring, NeighborsWrap) {
+  const Ring r(5);
+  rng::Xoshiro256pp gen(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = r.random_neighbor(0, gen);
+    EXPECT_TRUE(v == 1 || v == 4) << v;
+    const auto w = r.random_neighbor(4, gen);
+    EXPECT_TRUE(w == 3 || w == 0) << w;
+  }
+}
+
+TEST(Ring, NeighborDirectionFair) {
+  const Ring r(100);
+  rng::Xoshiro256pp gen(2);
+  int forward = 0;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (r.random_neighbor(50, gen) == 51) {
+      ++forward;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(forward) / kDraws, 0.5, 0.01);
+}
+
+TEST(Ring, DistanceWrapAware) {
+  const Ring r(10);
+  EXPECT_EQ(r.distance(0, 9), 1u);
+  EXPECT_EQ(r.distance(0, 5), 5u);
+  EXPECT_EQ(r.distance(3, 3), 0u);
+  EXPECT_EQ(r.distance(2, 8), 4u);
+}
+
+TEST(Ring, KeyIsIdentity) {
+  const Ring r(7);
+  for (std::uint64_t v = 0; v < 7; ++v) {
+    EXPECT_EQ(r.key(v), v);
+  }
+}
+
+TEST(Ring, ForEachNeighborYieldsBoth) {
+  const Ring r(6);
+  std::map<std::uint64_t, int> seen;
+  r.for_each_neighbor(0, [&](Ring::node_type v) { ++seen[v]; });
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen.count(1), 1u);
+  EXPECT_EQ(seen.count(5), 1u);
+}
+
+TEST(Ring, RandomNodeInRange) {
+  const Ring r(9);
+  rng::Xoshiro256pp gen(3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(r.random_node(gen), 9u);
+  }
+}
+
+}  // namespace
+}  // namespace antdense::graph

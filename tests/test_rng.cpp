@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/random.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace antdense::rng {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(DeriveSeed, OrderSensitive) {
+  EXPECT_NE(derive_seed(7, 1, 2), derive_seed(7, 2, 1));
+}
+
+TEST(DeriveSeed, IndexSensitive) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(derive_seed(123, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u) << "derived seeds must be distinct";
+}
+
+TEST(Xoshiro256pp, DeterministicFromSeed) {
+  Xoshiro256pp a(99);
+  Xoshiro256pp b(99);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256pp, LongJumpDiverges) {
+  Xoshiro256pp a(5);
+  Xoshiro256pp b(5);
+  b.long_jump();
+  bool differs = false;
+  for (int i = 0; i < 8; ++i) {
+    if (a() != b()) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Xoshiro256pp, BitsLookBalanced) {
+  Xoshiro256pp gen(321);
+  std::uint64_t ones = 0;
+  constexpr int kDraws = 4096;
+  for (int i = 0; i < kDraws; ++i) {
+    ones += __builtin_popcountll(gen());
+  }
+  const double fraction =
+      static_cast<double>(ones) / (64.0 * kDraws);
+  EXPECT_NEAR(fraction, 0.5, 0.01);
+}
+
+TEST(UniformBelow, AlwaysInRange) {
+  Xoshiro256pp gen(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(uniform_below(gen, bound), bound);
+    }
+  }
+}
+
+TEST(UniformBelow, BoundOneAlwaysZero) {
+  Xoshiro256pp gen(8);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(uniform_below(gen, 1), 0u);
+  }
+}
+
+TEST(UniformBelow, ChiSquareUniformity) {
+  Xoshiro256pp gen(2024);
+  constexpr std::uint64_t kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[uniform_below(gen, kBuckets)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 15 degrees of freedom; 99.9th percentile is ~37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(UniformInt, CoversInclusiveRange) {
+  Xoshiro256pp gen(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = uniform_int(gen, -2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(UniformInt, RejectsInvertedRange) {
+  Xoshiro256pp gen(12);
+  EXPECT_THROW(uniform_int(gen, 3, 2), std::invalid_argument);
+}
+
+TEST(UniformUnit, InHalfOpenInterval) {
+  Xoshiro256pp gen(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = uniform_unit(gen);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(UniformUnit, MeanIsHalf) {
+  Xoshiro256pp gen(14);
+  double acc = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    acc += uniform_unit(gen);
+  }
+  EXPECT_NEAR(acc / kDraws, 0.5, 0.005);
+}
+
+TEST(Bernoulli, ZeroAndOneAreDegenerate) {
+  Xoshiro256pp gen(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(bernoulli(gen, 0.0));
+    EXPECT_TRUE(bernoulli(gen, 1.0));
+  }
+}
+
+TEST(Bernoulli, RateMatches) {
+  Xoshiro256pp gen(16);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    hits += bernoulli(gen, 0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(CoinFlip, RoughlyFair) {
+  Xoshiro256pp gen(17);
+  int heads = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    heads += coin_flip(gen) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / kDraws, 0.5, 0.01);
+}
+
+TEST(Shuffle, IsPermutation) {
+  Xoshiro256pp gen(18);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  shuffle(gen, shuffled);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+}
+
+TEST(Shuffle, FirstPositionUniform) {
+  Xoshiro256pp gen(19);
+  constexpr int kItems = 5;
+  constexpr int kTrials = 50000;
+  std::vector<int> first_counts(kItems, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<int> v{0, 1, 2, 3, 4};
+    shuffle(gen, v);
+    ++first_counts[v[0]];
+  }
+  for (int c : first_counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.2, 0.015);
+  }
+}
+
+TEST(SampleWithoutReplacement, DistinctAndInRange) {
+  Xoshiro256pp gen(20);
+  const auto sample = sample_without_replacement(gen, 100, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (std::uint64_t v : sample) {
+    EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(SampleWithoutReplacement, FullPopulation) {
+  Xoshiro256pp gen(21);
+  const auto sample = sample_without_replacement(gen, 8, 8);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(SampleWithoutReplacement, KZeroEmpty) {
+  Xoshiro256pp gen(22);
+  EXPECT_TRUE(sample_without_replacement(gen, 10, 0).empty());
+}
+
+TEST(SampleWithoutReplacement, RejectsOversample) {
+  Xoshiro256pp gen(23);
+  EXPECT_THROW(sample_without_replacement(gen, 3, 4), std::invalid_argument);
+}
+
+TEST(SampleWithoutReplacement, MarginalsUniform) {
+  Xoshiro256pp gen(24);
+  constexpr int kTrials = 30000;
+  std::vector<int> counts(10, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    for (std::uint64_t v : sample_without_replacement(gen, 10, 3)) {
+      ++counts[v];
+    }
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.3, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace antdense::rng

@@ -1,0 +1,102 @@
+#include "sensor/field.hpp"
+#include "sensor/token_sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/accumulator.hpp"
+
+namespace antdense::sensor {
+namespace {
+
+using graph::Torus2D;
+
+TEST(SensorField, BernoulliValuesAreBinaryAndMeanNearP) {
+  const Torus2D torus(64, 64);
+  const SensorField field = SensorField::bernoulli(torus, 0.3, 1);
+  for (std::uint32_t x = 0; x < 10; ++x) {
+    const double v = field.value(Torus2D::pack(x, 0));
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+  EXPECT_NEAR(field.mean(), 0.3, 0.03);
+}
+
+TEST(SensorField, UniformMeanNearMidpoint) {
+  const Torus2D torus(64, 64);
+  const SensorField field = SensorField::uniform(torus, 2.0, 4.0, 2);
+  EXPECT_NEAR(field.mean(), 3.0, 0.05);
+}
+
+TEST(SensorField, GradientMeanIsBaseline) {
+  const Torus2D torus(32, 32);
+  const SensorField field = SensorField::gradient(torus);
+  // Sinusoids integrate to zero over full periods.
+  EXPECT_NEAR(field.mean(), 1.0, 1e-9);
+}
+
+TEST(SensorField, RejectsWrongSize) {
+  const Torus2D torus(4, 4);
+  EXPECT_THROW(SensorField(torus, std::vector<double>(3, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(TokenSampling, ResultConsistency) {
+  const Torus2D torus(64, 64);
+  const SensorField field = SensorField::uniform(torus, 0.0, 1.0, 3);
+  const auto r = run_token_sampling(field, 200, 4);
+  EXPECT_EQ(r.steps, 200u);
+  EXPECT_GE(r.unique_sensors, 1u);
+  EXPECT_LE(r.unique_sensors, 200u);
+}
+
+TEST(TokenSampling, WalkEstimateUnbiasedOnIidField) {
+  const Torus2D torus(64, 64);
+  const SensorField field = SensorField::bernoulli(torus, 0.4, 5);
+  stats::Accumulator acc;
+  for (std::uint64_t trial = 0; trial < 500; ++trial) {
+    acc.add(run_token_sampling(field, 256, 600 + trial).walk_estimate);
+  }
+  EXPECT_NEAR(acc.mean(), field.mean(), 4.0 * acc.standard_error() + 1e-12);
+}
+
+TEST(TokenSampling, RepeatVisitPenaltyIsModest) {
+  // Corollary 15's promise: on the 2-D grid the walk estimate's standard
+  // deviation is within a log factor of independent sampling's.
+  const Torus2D torus(128, 128);
+  const SensorField field = SensorField::bernoulli(torus, 0.5, 7);
+  stats::Accumulator walk_acc, indep_acc;
+  for (std::uint64_t trial = 0; trial < 400; ++trial) {
+    const auto r = run_token_sampling(field, 512, 800 + trial);
+    walk_acc.add(r.walk_estimate);
+    indep_acc.add(r.independent_estimate);
+  }
+  const double ratio = walk_acc.sample_stddev() / indep_acc.sample_stddev();
+  EXPECT_LT(ratio, 4.0) << "walk sd " << walk_acc.sample_stddev()
+                        << " indep sd " << indep_acc.sample_stddev();
+}
+
+TEST(TokenSampling, UniqueSensorsGrowSublinearlyButSubstantially) {
+  const Torus2D torus(256, 256);
+  const SensorField field = SensorField::uniform(torus, 0.0, 1.0, 9);
+  stats::Accumulator unique;
+  for (std::uint64_t trial = 0; trial < 50; ++trial) {
+    unique.add(run_token_sampling(field, 1024, 900 + trial).unique_sensors);
+  }
+  // 2-D walk range after t steps is Theta(t / log t): expect a large
+  // fraction of distinct sensors but clearly below t.
+  EXPECT_GT(unique.mean(), 150.0);
+  EXPECT_LT(unique.mean(), 1000.0);
+}
+
+TEST(TokenSampling, DeterministicInSeed) {
+  const Torus2D torus(32, 32);
+  const SensorField field = SensorField::gradient(torus);
+  const auto a = run_token_sampling(field, 100, 12);
+  const auto b = run_token_sampling(field, 100, 12);
+  EXPECT_DOUBLE_EQ(a.walk_estimate, b.walk_estimate);
+  EXPECT_EQ(a.unique_sensors, b.unique_sensors);
+}
+
+}  // namespace
+}  // namespace antdense::sensor

@@ -1,0 +1,117 @@
+#include "core/sequential_quorum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/torus2d.hpp"
+#include "stats/accumulator.hpp"
+
+namespace antdense::core {
+namespace {
+
+using graph::Torus2D;
+
+SequentialQuorumConfig basic_config() {
+  SequentialQuorumConfig cfg;
+  cfg.threshold = 0.06;
+  cfg.gamma = 1.0;
+  cfg.delta = 0.1;
+  cfg.check_every = 16;
+  cfg.max_rounds = 4096;
+  return cfg;
+}
+
+TEST(SequentialQuorum, Validation) {
+  const Torus2D torus(16, 16);
+  SequentialQuorumConfig cfg = basic_config();
+  EXPECT_THROW(run_sequential_quorum(torus, 1, cfg, 1),
+               std::invalid_argument);
+  cfg.check_every = 0;
+  EXPECT_THROW(run_sequential_quorum(torus, 10, cfg, 1),
+               std::invalid_argument);
+  cfg = basic_config();
+  cfg.threshold = 0.0;
+  EXPECT_THROW(run_sequential_quorum(torus, 10, cfg, 1),
+               std::invalid_argument);
+}
+
+TEST(SequentialQuorum, ResultShape) {
+  const Torus2D torus(32, 32);
+  const auto r = run_sequential_quorum(torus, 50, basic_config(), 2);
+  EXPECT_EQ(r.decisions.size(), 50u);
+  EXPECT_EQ(r.decision_round.size(), 50u);
+  EXPECT_EQ(r.budget, 4096u);
+  for (std::uint32_t round : r.decision_round) {
+    EXPECT_GE(round, 1u);
+    EXPECT_LE(round, r.budget);
+  }
+}
+
+TEST(SequentialQuorum, HighDensityDecidesQuorum) {
+  // d ~ 0.25 >> threshold*(1+gamma) = 0.12: nearly all agents must
+  // declare quorum, and on average well before the budget.
+  const Torus2D torus(32, 32);
+  const auto r = run_sequential_quorum(torus, 257, basic_config(), 3);
+  std::uint32_t quorum = 0;
+  stats::Accumulator rounds;
+  for (std::size_t i = 0; i < r.decisions.size(); ++i) {
+    quorum += r.decisions[i] == QuorumDecision::kQuorum ? 1 : 0;
+    rounds.add(r.decision_round[i]);
+  }
+  EXPECT_GT(quorum, 250u);
+  EXPECT_LT(rounds.mean(), 0.5 * r.budget);
+}
+
+TEST(SequentialQuorum, LowDensityDecidesNoQuorum) {
+  // d ~ 0.015 << threshold = 0.06.
+  const Torus2D torus(32, 32);
+  const auto r = run_sequential_quorum(torus, 16, basic_config(), 4);
+  std::uint32_t no_quorum = 0;
+  for (const auto d : r.decisions) {
+    no_quorum += d == QuorumDecision::kNoQuorum ? 1 : 0;
+  }
+  EXPECT_GE(no_quorum, 15u);
+}
+
+TEST(SequentialQuorum, FartherDensityDecidesFaster) {
+  // Early stopping: a density far above the band resolves sooner than
+  // one just above it.
+  const Torus2D torus(32, 32);
+  auto mean_round = [&](std::uint32_t agents, std::uint64_t seed) {
+    const auto r = run_sequential_quorum(torus, agents, basic_config(), seed);
+    stats::Accumulator acc;
+    for (std::uint32_t round : r.decision_round) {
+      acc.add(round);
+    }
+    return acc.mean();
+  };
+  const double far = mean_round(308, 5);    // d ~ 0.30
+  const double near = mean_round(139, 6);   // d ~ 0.135, just above band
+  EXPECT_LT(far, near);
+}
+
+TEST(SequentialQuorum, DeterministicInSeed) {
+  const Torus2D torus(16, 16);
+  SequentialQuorumConfig cfg = basic_config();
+  cfg.max_rounds = 512;
+  const auto a = run_sequential_quorum(torus, 30, cfg, 7);
+  const auto b = run_sequential_quorum(torus, 30, cfg, 7);
+  EXPECT_EQ(a.decision_round, b.decision_round);
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(a.decisions[i]),
+              static_cast<int>(b.decisions[i]));
+  }
+}
+
+TEST(SequentialQuorum, BudgetDefaultsToTheoremOne) {
+  const Torus2D torus(32, 32);
+  SequentialQuorumConfig cfg = basic_config();
+  cfg.max_rounds = 0;
+  const auto r = run_sequential_quorum(torus, 20, cfg, 8);
+  const QuorumDetector detector(cfg.threshold, cfg.gamma, cfg.delta);
+  const auto expected = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      detector.required_rounds(), torus.num_nodes()));
+  EXPECT_EQ(r.budget, expected);
+}
+
+}  // namespace
+}  // namespace antdense::core

@@ -1,0 +1,128 @@
+#include "netsize/size_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "stats/quantile.hpp"
+
+namespace antdense::netsize {
+namespace {
+
+using graph::Graph;
+
+SizeEstimationConfig idealized(std::uint32_t walks, std::uint32_t rounds) {
+  SizeEstimationConfig cfg;
+  cfg.num_walks = walks;
+  cfg.rounds = rounds;
+  cfg.start_stationary = true;
+  return cfg;
+}
+
+TEST(SizeEstimator, ValidatesConfig) {
+  const Graph g = graph::make_ring_graph(10);
+  SizeEstimationConfig cfg;
+  cfg.num_walks = 1;
+  cfg.rounds = 5;
+  EXPECT_THROW(estimate_network_size(g, cfg, 1), std::invalid_argument);
+  cfg.num_walks = 4;
+  cfg.rounds = 0;
+  EXPECT_THROW(estimate_network_size(g, cfg, 1), std::invalid_argument);
+  cfg.rounds = 2;
+  cfg.seed_vertex = 99;
+  EXPECT_THROW(estimate_network_size(g, cfg, 1), std::invalid_argument);
+}
+
+TEST(SizeEstimator, DeterministicInSeed) {
+  const Graph g = graph::make_torus_kd_graph(3, 6);
+  const auto a = estimate_network_size(g, idealized(64, 32), 7);
+  const auto b = estimate_network_size(g, idealized(64, 32), 7);
+  EXPECT_DOUBLE_EQ(a.size_estimate, b.size_estimate);
+}
+
+TEST(SizeEstimator, MedianEstimateNearTruthOnSmallTorus) {
+  const Graph g = graph::make_torus_kd_graph(3, 6);  // 216 vertices
+  std::vector<double> estimates;
+  for (std::uint64_t trial = 0; trial < 60; ++trial) {
+    const auto r = estimate_network_size(g, idealized(48, 64), 100 + trial);
+    if (r.saw_collision) {
+      estimates.push_back(r.size_estimate);
+    }
+  }
+  ASSERT_GT(estimates.size(), 50u);
+  EXPECT_NEAR(stats::median(estimates), 216.0, 45.0);
+}
+
+TEST(SizeEstimator, UnbiasedCollisionStatistic) {
+  // Lemma 28: E[C] = 1/|V|.  Average C over many trials.
+  const Graph g = graph::make_random_regular_graph(128, 6, 31);
+  double total = 0.0;
+  constexpr int kTrials = 200;
+  for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+    const auto r = estimate_network_size(g, idealized(32, 32), 300 + trial);
+    total += r.collision_statistic;
+  }
+  EXPECT_NEAR(total / kTrials, 1.0 / 128.0, 0.0012);
+}
+
+TEST(SizeEstimator, WorksOnIrregularGraphs) {
+  // BA graph: heavy degree skew exercises the 1/deg weighting.
+  const Graph g = graph::make_barabasi_albert_graph(400, 3, 41);
+  std::vector<double> estimates;
+  for (std::uint64_t trial = 0; trial < 50; ++trial) {
+    const auto r = estimate_network_size(g, idealized(64, 64), 500 + trial);
+    if (r.saw_collision) {
+      estimates.push_back(r.size_estimate);
+    }
+  }
+  ASSERT_GT(estimates.size(), 40u);
+  EXPECT_NEAR(stats::median(estimates), 400.0, 100.0);
+}
+
+TEST(SizeEstimator, BurnInModeCountsQueries) {
+  const Graph g = graph::make_torus_kd_graph(3, 5);
+  SizeEstimationConfig cfg;
+  cfg.num_walks = 10;
+  cfg.rounds = 20;
+  cfg.burn_in = 30;
+  cfg.seed_vertex = 0;
+  const auto r = estimate_network_size(g, cfg, 9);
+  // n*(M+t) queries: 10 * (30+20).
+  EXPECT_EQ(r.link_queries, 500u);
+}
+
+TEST(SizeEstimator, StationaryModeCostsOnlyRounds) {
+  const Graph g = graph::make_torus_kd_graph(3, 5);
+  const auto r = estimate_network_size(g, idealized(10, 20), 10);
+  EXPECT_EQ(r.link_queries, 200u);
+}
+
+TEST(SizeEstimator, NoCollisionsGiveInfiniteEstimate) {
+  // Two walks, one round, large graph: collision essentially impossible.
+  const Graph g = graph::make_torus_kd_graph(3, 12);  // 1728 vertices
+  SizeEstimationConfig cfg = idealized(2, 1);
+  const auto r = estimate_network_size(g, cfg, 11);
+  EXPECT_FALSE(r.saw_collision);
+  EXPECT_TRUE(std::isinf(r.size_estimate));
+}
+
+TEST(SizeEstimator, ProvidedAverageDegreeUsedVerbatim) {
+  const Graph g = graph::make_ring_graph(32);
+  SizeEstimationConfig cfg = idealized(16, 16);
+  cfg.average_degree = 2.0;
+  const auto r = estimate_network_size(g, cfg, 12);
+  EXPECT_DOUBLE_EQ(r.average_degree_used, 2.0);
+}
+
+TEST(SizeEstimatorMedian, AggregatesRepetitions) {
+  const Graph g = graph::make_torus_kd_graph(3, 6);
+  const auto r =
+      estimate_network_size_median(g, idealized(48, 64), 9, 13);
+  EXPECT_TRUE(r.saw_collision);
+  EXPECT_NEAR(r.size_estimate, 216.0, 60.0);
+  EXPECT_EQ(r.link_queries, 9u * 48u * 64u);
+}
+
+}  // namespace
+}  // namespace antdense::netsize

@@ -1,0 +1,147 @@
+#include "spectral/walk_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "graph/generators.hpp"
+
+namespace antdense::spectral {
+namespace {
+
+using graph::Graph;
+using graph::make_complete_graph;
+using graph::make_hypercube_graph;
+using graph::make_ring_graph;
+using graph::make_star_graph;
+using graph::make_torus2d_graph;
+
+TEST(StationaryDistribution, UniformOnRegularGraphs) {
+  const Graph g = make_ring_graph(10);
+  const auto pi = stationary_distribution(g);
+  for (double p : pi) {
+    EXPECT_NEAR(p, 0.1, 1e-12);
+  }
+}
+
+TEST(StationaryDistribution, DegreeProportionalOnStar) {
+  const Graph g = make_star_graph(5);  // hub degree 4, leaves 1; 2|E| = 8
+  const auto pi = stationary_distribution(g);
+  EXPECT_NEAR(pi[0], 0.5, 1e-12);
+  for (int v = 1; v < 5; ++v) {
+    EXPECT_NEAR(pi[v], 0.125, 1e-12);
+  }
+}
+
+TEST(EvolveStep, PreservesMass) {
+  const Graph g = make_torus2d_graph(4, 4);
+  std::vector<double> dist(16, 0.0);
+  dist[3] = 1.0;
+  for (int s = 0; s < 5; ++s) {
+    dist = evolve_step(g, dist);
+    double total = 0.0;
+    for (double p : dist) {
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(EvolveStep, OneStepSpreadsUniformlyToNeighbors) {
+  const Graph g = make_ring_graph(6);
+  std::vector<double> dist(6, 0.0);
+  dist[0] = 1.0;
+  dist = evolve_step(g, dist);
+  EXPECT_NEAR(dist[1], 0.5, 1e-12);
+  EXPECT_NEAR(dist[5], 0.5, 1e-12);
+  EXPECT_NEAR(dist[0], 0.0, 1e-12);
+}
+
+TEST(EvolveStep, StationaryIsFixedPoint) {
+  const Graph g = make_star_graph(6);
+  const auto pi = stationary_distribution(g);
+  const auto after = evolve_step(g, pi);
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    EXPECT_NEAR(after[i], pi[i], 1e-12);
+  }
+}
+
+TEST(TvDistance, BasicProperties) {
+  const std::vector<double> a{0.5, 0.5, 0.0};
+  const std::vector<double> b{0.0, 0.5, 0.5};
+  EXPECT_NEAR(tv_distance(a, b), 0.5, 1e-12);
+  EXPECT_NEAR(tv_distance(a, a), 0.0, 1e-12);
+}
+
+TEST(SecondEigenvalue, CompleteGraphKnownValue) {
+  // K_n walk matrix eigenvalues: 1 and -1/(n-1).
+  const Graph g = make_complete_graph(10);
+  EXPECT_NEAR(second_eigenvalue_magnitude(g), 1.0 / 9.0, 1e-6);
+}
+
+TEST(SecondEigenvalue, EvenCycleIsBipartiteLambdaOne) {
+  const Graph g = make_ring_graph(8);
+  EXPECT_NEAR(second_eigenvalue_magnitude(g), 1.0, 1e-6);
+}
+
+TEST(SecondEigenvalue, OddCycleKnownValue) {
+  // C_n eigenvalues: cos(2 pi k / n); for odd n the magnitude max over
+  // k>0 is cos(pi/n) (from the negative end) — for n=9: cos(pi/9).
+  const Graph g = make_ring_graph(9);
+  EXPECT_NEAR(second_eigenvalue_magnitude(g, 20000),
+              std::cos(std::numbers::pi / 9.0), 1e-4);
+}
+
+TEST(SecondEigenvalue, HypercubeKnownValue) {
+  // Q_k walk matrix eigenvalues: (k-2i)/k; the magnitude max below 1 is
+  // 1 (bipartite: eigenvalue -1).  Check that it is detected.
+  const Graph g = make_hypercube_graph(4);
+  EXPECT_NEAR(second_eigenvalue_magnitude(g), 1.0, 1e-6);
+}
+
+TEST(SecondEigenvalue, RandomRegularIsExpander) {
+  const Graph g = graph::make_random_regular_graph(256, 8, 4242);
+  const double lambda = second_eigenvalue_magnitude(g);
+  // Friedman: lambda ~ 2 sqrt(k-1)/k ≈ 0.66 for k=8; generous envelope.
+  EXPECT_LT(lambda, 0.8);
+  EXPECT_GT(lambda, 0.3);
+}
+
+TEST(SpectralGap, ComplementOfLambda) {
+  const Graph g = make_complete_graph(5);
+  EXPECT_NEAR(spectral_gap(g), 1.0 - 0.25, 1e-6);
+}
+
+TEST(BurnInSteps, FormulaAndMonotonicity) {
+  EXPECT_EQ(burn_in_steps(100, 0.1, 0.0),
+            static_cast<std::uint32_t>(std::ceil(std::log(1000.0))));
+  EXPECT_GT(burn_in_steps(100, 0.1, 0.9), burn_in_steps(100, 0.1, 0.5));
+  EXPECT_GT(burn_in_steps(100, 0.01, 0.5), burn_in_steps(100, 0.1, 0.5));
+}
+
+TEST(BurnInSteps, RejectsBadInputs) {
+  EXPECT_THROW(burn_in_steps(0, 0.1, 0.5), std::invalid_argument);
+  EXPECT_THROW(burn_in_steps(10, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(burn_in_steps(10, 0.1, 1.0), std::invalid_argument);
+}
+
+TEST(MixingTime, CompleteGraphMixesInstantly) {
+  const Graph g = make_complete_graph(50);
+  EXPECT_LE(mixing_time_from(g, 0, 0.05, 100), 3u);
+}
+
+TEST(MixingTime, OddRingMixesSlowly) {
+  const Graph g = make_ring_graph(25);
+  const auto fast = mixing_time_from(make_complete_graph(25), 0, 0.05, 2000);
+  const auto slow = mixing_time_from(g, 0, 0.05, 2000);
+  EXPECT_GT(slow, 10 * fast);
+}
+
+TEST(MixingTime, ReturnsSentinelWhenNotReached) {
+  const Graph g = make_ring_graph(8);  // bipartite: never mixes
+  EXPECT_EQ(mixing_time_from(g, 0, 0.01, 50), 51u);
+}
+
+}  // namespace
+}  // namespace antdense::spectral

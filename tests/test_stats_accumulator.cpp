@@ -1,0 +1,110 @@
+#include "stats/accumulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace antdense::stats {
+namespace {
+
+TEST(Accumulator, EmptyIsZeroed) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.standard_error(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator a;
+  a.add(3.5);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.sample_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 3.5);
+  EXPECT_DOUBLE_EQ(a.max(), 3.5);
+}
+
+TEST(Accumulator, KnownMeanAndVariance) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    a.add(x);
+  }
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 4.0);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(a.stddev(), 2.0);
+  EXPECT_NEAR(a.sample_variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Accumulator, MinMaxTrackExtremes) {
+  Accumulator a;
+  a.add(-1.0);
+  a.add(10.0);
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(a.min(), -1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+}
+
+TEST(Accumulator, SumMatches) {
+  Accumulator a;
+  a.add(1.5);
+  a.add(2.5);
+  EXPECT_DOUBLE_EQ(a.sum(), 4.0);
+}
+
+TEST(Accumulator, MergeEqualsSequential) {
+  Accumulator whole;
+  Accumulator left;
+  Accumulator right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    whole.add(x);
+    (i < 50 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides) {
+  Accumulator filled;
+  filled.add(1.0);
+  filled.add(2.0);
+  Accumulator empty;
+  Accumulator copy = filled;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.mean(), 1.5);
+  empty.merge(filled);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Accumulator, StandardErrorShrinksWithN) {
+  Accumulator small;
+  Accumulator large;
+  for (int i = 0; i < 10; ++i) {
+    small.add(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    large.add(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  EXPECT_GT(small.standard_error(), large.standard_error());
+}
+
+TEST(Accumulator, NumericallyStableAroundLargeOffset) {
+  Accumulator a;
+  constexpr double kOffset = 1e9;
+  for (double x : {kOffset + 1.0, kOffset + 2.0, kOffset + 3.0}) {
+    a.add(x);
+  }
+  EXPECT_NEAR(a.mean(), kOffset + 2.0, 1e-3);
+  EXPECT_NEAR(a.variance(), 2.0 / 3.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace antdense::stats

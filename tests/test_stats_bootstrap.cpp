@@ -1,0 +1,81 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rng/random.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "stats/quantile.hpp"
+
+namespace antdense::stats {
+namespace {
+
+TEST(BootstrapMeanCi, ContainsTrueMeanForCleanData) {
+  rng::Xoshiro256pp gen(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) {
+    xs.push_back(rng::uniform_real(gen, 0.0, 2.0));  // mean 1.0
+  }
+  const Interval ci = bootstrap_mean_ci(xs, 0.95, 500);
+  EXPECT_TRUE(ci.contains(1.0)) << "[" << ci.lower << "," << ci.upper << "]";
+  EXPECT_NEAR(ci.point, 1.0, 0.05);
+  EXPECT_LT(ci.width(), 0.2);
+}
+
+TEST(BootstrapCi, CustomStatisticMedian) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 101; ++i) {
+    xs.push_back(i);
+  }
+  const Interval ci = bootstrap_ci(
+      xs, [](const std::vector<double>& v) { return median(v); }, 0.95, 300);
+  EXPECT_TRUE(ci.contains(51.0));
+  EXPECT_DOUBLE_EQ(ci.point, 51.0);
+}
+
+TEST(BootstrapCi, DeterministicInSeed) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Interval a = bootstrap_mean_ci(xs, 0.95, 200, 42);
+  const Interval b = bootstrap_mean_ci(xs, 0.95, 200, 42);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(BootstrapCi, RejectsBadInputs) {
+  EXPECT_THROW(bootstrap_mean_ci({}, 0.95), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, 1.5), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, 0.95, 3), std::invalid_argument);
+}
+
+TEST(WilsonInterval, CoversObservedProportion) {
+  const Interval ci = wilson_interval(30, 100);
+  EXPECT_TRUE(ci.contains(0.3));
+  EXPECT_GT(ci.lower, 0.2);
+  EXPECT_LT(ci.upper, 0.42);
+}
+
+TEST(WilsonInterval, ZeroSuccessesStillPositiveWidth) {
+  const Interval ci = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+  EXPECT_GT(ci.upper, 0.0);
+  EXPECT_LT(ci.upper, 0.15);
+}
+
+TEST(WilsonInterval, AllSuccesses) {
+  const Interval ci = wilson_interval(50, 50);
+  EXPECT_DOUBLE_EQ(ci.upper, 1.0);
+  EXPECT_GT(ci.lower, 0.85);
+}
+
+TEST(WilsonInterval, HigherLevelIsWider) {
+  const Interval narrow = wilson_interval(20, 100, 0.90);
+  const Interval wide = wilson_interval(20, 100, 0.99);
+  EXPECT_GT(wide.width(), narrow.width());
+}
+
+TEST(WilsonInterval, RejectsBadInputs) {
+  EXPECT_THROW(wilson_interval(1, 0), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(5, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace antdense::stats

@@ -1,0 +1,88 @@
+#include "stats/concentration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace antdense::stats {
+namespace {
+
+TEST(EmpiricalTail, CountsOutliersBothSides) {
+  const std::vector<double> xs{0.5, 1.0, 1.0, 1.5, 2.0};
+  // center 1.0, eps 0.4 -> |x-1| >= 0.4 picks 0.5, 1.5? (0.5 >= 0.4 yes,
+  // 0.5 diff) ... values: |0.5-1|=0.5>=0.4, |1-1|=0, |1.5-1|=0.5>=0.4,
+  // |2-1|=1>=0.4 -> 3/5.
+  EXPECT_DOUBLE_EQ(empirical_tail(xs, 1.0, 0.4), 0.6);
+}
+
+TEST(EmpiricalTail, ZeroWhenAllInside) {
+  const std::vector<double> xs{0.95, 1.0, 1.05};
+  EXPECT_DOUBLE_EQ(empirical_tail(xs, 1.0, 0.2), 0.0);
+}
+
+TEST(EpsilonAtConfidence, FullConfidenceIsMaxDeviation) {
+  const std::vector<double> xs{0.8, 1.0, 1.3};
+  EXPECT_NEAR(epsilon_at_confidence(xs, 1.0, 1.0), 0.3, 1e-12);
+}
+
+TEST(EpsilonAtConfidence, MedianLevel) {
+  const std::vector<double> xs{0.9, 1.0, 1.5};
+  // relative deviations sorted: {0, 0.1, 0.5}; need ceil(0.5*3)=2 -> 0.1
+  EXPECT_NEAR(epsilon_at_confidence(xs, 1.0, 0.5), 0.1, 1e-12);
+}
+
+TEST(EpsilonAtConfidence, MonotoneInConfidence) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(1.0 + 0.01 * i);
+  }
+  const double lo = epsilon_at_confidence(xs, 1.0, 0.5);
+  const double hi = epsilon_at_confidence(xs, 1.0, 0.99);
+  EXPECT_LT(lo, hi);
+}
+
+TEST(ChernoffTail, DecaysWithMeanAndEps) {
+  EXPECT_GT(chernoff_tail(1000.0, 0.1), chernoff_tail(10000.0, 0.1));
+  EXPECT_GT(chernoff_tail(1000.0, 0.1), chernoff_tail(1000.0, 0.3));
+}
+
+TEST(ChernoffTail, CappedAtOne) {
+  EXPECT_DOUBLE_EQ(chernoff_tail(0.001, 0.01), 1.0);
+}
+
+TEST(ChernoffTail, MatchesFormula) {
+  EXPECT_NEAR(chernoff_tail(300.0, 0.2),
+              2.0 * std::exp(-0.2 * 0.2 * 300.0 / 3.0), 1e-12);
+}
+
+TEST(ChebyshevTail, MatchesFormula) {
+  EXPECT_NEAR(chebyshev_tail(10.0, 0.04, 0.1), 0.04 / 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(chebyshev_tail(10.0, 400.0, 0.1), 1.0);  // capped
+}
+
+TEST(ChebyshevTail, ZeroMeanIsVacuous) {
+  EXPECT_DOUBLE_EQ(chebyshev_tail(0.0, 1.0, 0.5), 1.0);
+}
+
+TEST(SubExponentialTail, MatchesLemma18Formula) {
+  const double sigma_sq = 2.0;
+  const double b = 0.5;
+  const double delta = 3.0;
+  EXPECT_NEAR(
+      sub_exponential_tail(sigma_sq, b, delta),
+      2.0 * std::exp(-delta * delta / (2.0 * (sigma_sq + b * delta))), 1e-12);
+}
+
+TEST(SubExponentialTail, GaussianRegimeWhenBZero) {
+  // With b = 0 this is the sub-Gaussian bound 2exp(-delta^2/2sigma^2).
+  EXPECT_NEAR(sub_exponential_tail(1.0, 0.0, 2.0),
+              2.0 * std::exp(-2.0), 1e-12);
+}
+
+TEST(SubExponentialTail, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(sub_exponential_tail(0.0, 0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sub_exponential_tail(0.0, 0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace antdense::stats

@@ -1,0 +1,94 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace antdense::stats {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 9
+  h.add(5.0);   // bin 5
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(4), 10.0);
+}
+
+TEST(Histogram, FractionsSumToOne) {
+  Histogram h(0.0, 4.0, 4);
+  for (double x : {0.5, 1.5, 2.5, 3.5}) {
+    h.add(x);
+  }
+  double total = 0.0;
+  for (std::size_t b = 0; b < h.num_bins(); ++b) {
+    total += h.bin_fraction(b);
+  }
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(Histogram, AddCountBatches) {
+  Histogram h(0.0, 1.0, 1);
+  h.add_count(0.5, 10);
+  EXPECT_EQ(h.bin_count(0), 10u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(LogHistogram, BucketBoundaries) {
+  LogHistogram h;
+  EXPECT_EQ(h.bucket_lower(0), 0u);
+  EXPECT_EQ(h.bucket_upper(0), 0u);
+  EXPECT_EQ(h.bucket_lower(1), 1u);
+  EXPECT_EQ(h.bucket_upper(1), 1u);
+  EXPECT_EQ(h.bucket_lower(3), 4u);
+  EXPECT_EQ(h.bucket_upper(3), 7u);
+}
+
+TEST(LogHistogram, ValuesLandInRightBucket) {
+  LogHistogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(7);
+  h.add(8);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // {0}
+  EXPECT_EQ(h.bucket_count(1), 1u);  // {1}
+  EXPECT_EQ(h.bucket_count(2), 2u);  // [2,3]
+  EXPECT_EQ(h.bucket_count(3), 2u);  // [4,7]
+  EXPECT_EQ(h.bucket_count(4), 1u);  // [8,15]
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(LogHistogram, HugeValuesClampToLastBucket) {
+  LogHistogram h(4);
+  h.add(~std::uint64_t{0});
+  EXPECT_EQ(h.bucket_count(3), 1u);
+}
+
+}  // namespace
+}  // namespace antdense::stats

@@ -1,0 +1,85 @@
+#include "stats/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/random.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace antdense::stats {
+namespace {
+
+TEST(CentralMoment, FirstIsZero) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(central_moment(xs, 1), 0.0, 1e-12);
+}
+
+TEST(CentralMoment, SecondIsVariance) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(central_moment(xs, 2), 4.0);
+}
+
+TEST(CentralMoment, SymmetricDataHasZeroThird) {
+  const std::vector<double> xs{-2.0, -1.0, 0.0, 1.0, 2.0};
+  EXPECT_NEAR(central_moment(xs, 3), 0.0, 1e-12);
+}
+
+TEST(CentralMoment, RejectsBadInput) {
+  EXPECT_THROW(central_moment({}, 2), std::invalid_argument);
+  EXPECT_THROW(central_moment({1.0}, 0), std::invalid_argument);
+}
+
+TEST(RawMoment, MatchesDefinition) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(raw_moment(xs, 1), 2.0);
+  EXPECT_DOUBLE_EQ(raw_moment(xs, 2), 14.0 / 3.0);
+}
+
+TEST(CentralMomentsUpTo, AgreesWithIndividualCalls) {
+  std::vector<double> xs;
+  rng::Xoshiro256pp gen(5);
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(rng::uniform_real(gen, -3.0, 7.0));
+  }
+  const auto all = central_moments_up_to(xs, 5);
+  for (int k = 2; k <= 5; ++k) {
+    EXPECT_NEAR(all[static_cast<std::size_t>(k)], central_moment(xs, k),
+                1e-9 * std::fabs(central_moment(xs, k)) + 1e-12)
+        << "k=" << k;
+  }
+}
+
+TEST(Skewness, RightSkewedPositive) {
+  const std::vector<double> xs{1.0, 1.0, 1.0, 1.0, 10.0};
+  EXPECT_GT(skewness(xs), 0.0);
+}
+
+TEST(Skewness, DegenerateIsZero) {
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(skewness(xs), 0.0);
+}
+
+TEST(ExcessKurtosis, GaussianSamplesNearZero) {
+  // Sum of 12 uniforms minus 6 is approximately standard normal.
+  rng::Xoshiro256pp gen(77);
+  std::vector<double> xs;
+  for (int i = 0; i < 200000; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < 12; ++j) {
+      s += rng::uniform_unit(gen);
+    }
+    xs.push_back(s - 6.0);
+  }
+  EXPECT_NEAR(excess_kurtosis(xs), 0.0, 0.1);
+}
+
+TEST(ExcessKurtosis, HeavyTailPositive) {
+  std::vector<double> xs(1000, 0.0);
+  xs[0] = 100.0;
+  xs[1] = -100.0;
+  EXPECT_GT(excess_kurtosis(xs), 3.0);
+}
+
+}  // namespace
+}  // namespace antdense::stats

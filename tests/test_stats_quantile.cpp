@@ -1,0 +1,61 @@
+#include "stats/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace antdense::stats {
+namespace {
+
+TEST(Quantile, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Quantile, MedianOfEvenCountInterpolates) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Quantile, ExtremesAreMinAndMax) {
+  const std::vector<double> xs{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+}
+
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(Quantile, LinearInterpolationBetweenOrderStats) {
+  // sorted = {10, 20, 30, 40}; q=0.25 -> pos 0.75 -> 10*0.25 + 20*0.75
+  EXPECT_DOUBLE_EQ(quantile({40.0, 10.0, 30.0, 20.0}, 0.25), 17.5);
+}
+
+TEST(Quantile, RejectsBadInputs) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(Quantiles, MultipleLevelsShareOneSort) {
+  const std::vector<double> xs{4.0, 2.0, 1.0, 3.0};
+  const auto qs = quantiles(xs, {0.0, 0.5, 1.0});
+  ASSERT_EQ(qs.size(), 3u);
+  EXPECT_DOUBLE_EQ(qs[0], 1.0);
+  EXPECT_DOUBLE_EQ(qs[1], 2.5);
+  EXPECT_DOUBLE_EQ(qs[2], 4.0);
+}
+
+TEST(QuantileSorted, MonotoneInQ) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(static_cast<double>((i * 37) % 100));
+  }
+  std::sort(xs.begin(), xs.end());
+  double prev = quantile_sorted(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile_sorted(xs, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace antdense::stats

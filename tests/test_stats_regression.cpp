@@ -1,0 +1,74 @@
+#include "stats/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace antdense::stats {
+namespace {
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{3.0, 5.0, 7.0, 9.0};  // y = 2x + 1
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineStillCloseWithLowerR2) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i - 2.0 + ((i % 2 == 0) ? 1.0 : -1.0));
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.05);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFit, RejectsDegenerateInput) {
+  EXPECT_THROW(linear_fit({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(linear_fit({1.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(linear_fit({2.0, 2.0}, {1.0, 5.0}), std::invalid_argument);
+}
+
+TEST(LogLogFit, RecoversPowerLawExponent) {
+  std::vector<double> x, y;
+  for (int m = 1; m <= 100; ++m) {
+    x.push_back(m);
+    y.push_back(5.0 * std::pow(m, -1.5));
+  }
+  const LinearFit fit = log_log_fit(x, y);
+  EXPECT_NEAR(fit.slope, -1.5, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 5.0, 1e-9);
+}
+
+TEST(LogLogFit, SkipsNonPositivePoints) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 4.0, 8.0};
+  const std::vector<double> y{9.0, 1.0, 0.5, 0.25, 0.125};  // y = x^-1
+  const LinearFit fit = log_log_fit(x, y);  // x=0 point skipped
+  EXPECT_NEAR(fit.slope, -1.0, 1e-9);
+}
+
+TEST(SemilogFit, RecoversExponentialDecay) {
+  std::vector<double> x, y;
+  for (int m = 0; m <= 40; ++m) {
+    x.push_back(m);
+    y.push_back(2.0 * std::pow(0.9, m));
+  }
+  const LinearFit fit = semilog_fit(x, y);
+  EXPECT_NEAR(std::exp(fit.slope), 0.9, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 2.0, 1e-9);
+}
+
+TEST(SemilogFit, ZeroProbabilitiesIgnored) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y{1.0, 0.5, 0.0, 0.125};  // odd-parity zero
+  const LinearFit fit = semilog_fit(x, y);
+  EXPECT_NEAR(std::exp(fit.slope), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace antdense::stats

@@ -1,0 +1,153 @@
+// Cross-topology property sweep: the invariants every Topology must
+// satisfy (typed TEST suite over all five lattice models plus the
+// explicit adapter).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "graph/complete.hpp"
+#include "graph/explicit_topology.hpp"
+#include "graph/generators.hpp"
+#include "graph/hypercube.hpp"
+#include "graph/ring.hpp"
+#include "graph/torus2d.hpp"
+#include "graph/torus_kd.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace antdense::graph {
+namespace {
+
+// Fixture factory per topology type: builds a small instance (~64-1024
+// nodes) for the shared property checks.
+template <typename T>
+struct Maker;
+
+template <>
+struct Maker<Torus2D> {
+  static Torus2D make() { return Torus2D(16, 16); }
+};
+template <>
+struct Maker<Ring> {
+  static Ring make() { return Ring(64); }
+};
+template <>
+struct Maker<TorusKD> {
+  static TorusKD make() { return TorusKD(3, 6); }
+};
+template <>
+struct Maker<Hypercube> {
+  static Hypercube make() { return Hypercube(8); }
+};
+template <>
+struct Maker<CompleteGraph> {
+  static CompleteGraph make() { return CompleteGraph(64); }
+};
+
+template <typename T>
+class TopologyProperties : public ::testing::Test {
+ protected:
+  TopologyProperties() : topo_(Maker<T>::make()) {}
+  T topo_;
+};
+
+using AllTopologies =
+    ::testing::Types<Torus2D, Ring, TorusKD, Hypercube, CompleteGraph>;
+TYPED_TEST_SUITE(TopologyProperties, AllTopologies);
+
+TYPED_TEST(TopologyProperties, KeysStayInRangeAlongWalks) {
+  rng::Xoshiro256pp gen(101);
+  auto u = this->topo_.random_node(gen);
+  for (int i = 0; i < 2000; ++i) {
+    u = this->topo_.random_neighbor(u, gen);
+    EXPECT_LT(this->topo_.key(u), this->topo_.num_nodes());
+  }
+}
+
+TYPED_TEST(TopologyProperties, RandomNodeKeysUniform) {
+  rng::Xoshiro256pp gen(102);
+  const auto n = this->topo_.num_nodes();
+  std::map<std::uint64_t, int> counts;
+  const int draws = static_cast<int>(n) * 100;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[this->topo_.key(this->topo_.random_node(gen))];
+  }
+  // Every node should appear, each within 5 sigma of uniform.
+  EXPECT_EQ(counts.size(), n);
+  const double expect = static_cast<double>(draws) / static_cast<double>(n);
+  const double tolerance = 5.0 * std::sqrt(expect);
+  for (const auto& [key, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expect, tolerance) << "key " << key;
+  }
+}
+
+TYPED_TEST(TopologyProperties, NeighborDrawsCoverExactlyDegreeNodes) {
+  rng::Xoshiro256pp gen(103);
+  const auto u = this->topo_.random_node(gen);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    seen.insert(this->topo_.key(this->topo_.random_neighbor(u, gen)));
+  }
+  EXPECT_EQ(seen.size(), this->topo_.degree());
+}
+
+TYPED_TEST(TopologyProperties, ForEachNeighborMatchesRandomSupport) {
+  rng::Xoshiro256pp gen(104);
+  const auto u = this->topo_.random_node(gen);
+  std::set<std::uint64_t> enumerated;
+  this->topo_.for_each_neighbor(
+      u, [&](const auto& v) { enumerated.insert(this->topo_.key(v)); });
+  std::set<std::uint64_t> sampled;
+  for (int i = 0; i < 5000; ++i) {
+    sampled.insert(this->topo_.key(this->topo_.random_neighbor(u, gen)));
+  }
+  EXPECT_EQ(enumerated, sampled);
+}
+
+TYPED_TEST(TopologyProperties, NameIsNonEmpty) {
+  EXPECT_FALSE(this->topo_.name().empty());
+}
+
+TYPED_TEST(TopologyProperties, StationaryUniformityAfterManySteps) {
+  // Regularity keeps a uniformly-started walker uniform at every round
+  // (the paper's Lemma 2 precondition).  Check the marginal at round 13.
+  rng::Xoshiro256pp gen(105);
+  const auto n = this->topo_.num_nodes();
+  std::map<std::uint64_t, int> counts;
+  const int trials = static_cast<int>(n) * 100;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto u = this->topo_.random_node(gen);
+    for (int s = 0; s < 13; ++s) {
+      u = this->topo_.random_neighbor(u, gen);
+    }
+    ++counts[this->topo_.key(u)];
+  }
+  const double expect =
+      static_cast<double>(trials) / static_cast<double>(n);
+  const double tolerance = 5.0 * std::sqrt(expect);
+  for (const auto& [key, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expect, tolerance) << "key " << key;
+  }
+}
+
+// ExplicitTopology gets the same checks via a random regular graph.
+TEST(ExplicitTopologyProperties, WalksStayInRangeAndCoverNeighbors) {
+  const Graph g = make_random_regular_graph(128, 6, 2024);
+  const ExplicitTopology topo(g, "rr");
+  rng::Xoshiro256pp gen(106);
+  auto u = topo.random_node(gen);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    u = topo.random_neighbor(u, gen);
+    EXPECT_LT(topo.key(u), topo.num_nodes());
+  }
+  for (int i = 0; i < 3000; ++i) {
+    seen.insert(topo.key(topo.random_neighbor(u, gen)));
+  }
+  EXPECT_EQ(seen.size(), topo.degree());
+}
+
+}  // namespace
+}  // namespace antdense::graph

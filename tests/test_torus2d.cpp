@@ -1,0 +1,131 @@
+#include "graph/torus2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "rng/xoshiro256pp.hpp"
+
+namespace antdense::graph {
+namespace {
+
+TEST(Torus2D, BasicProperties) {
+  const Torus2D t(8, 16);
+  EXPECT_EQ(t.num_nodes(), 128u);
+  EXPECT_EQ(t.degree(), 4u);
+  EXPECT_EQ(t.width(), 8u);
+  EXPECT_EQ(t.height(), 16u);
+}
+
+TEST(Torus2D, SquareFactory) {
+  const Torus2D t = Torus2D::square(32);
+  EXPECT_EQ(t.num_nodes(), 1024u);
+  EXPECT_EQ(t.width(), t.height());
+}
+
+TEST(Torus2D, RejectsDegenerateSizes) {
+  EXPECT_THROW(Torus2D(1, 8), std::invalid_argument);
+  EXPECT_THROW(Torus2D(8, 0), std::invalid_argument);
+}
+
+TEST(Torus2D, PackUnpackRoundTrip) {
+  const auto u = Torus2D::pack(5, 11);
+  EXPECT_EQ(Torus2D::x_of(u), 5u);
+  EXPECT_EQ(Torus2D::y_of(u), 11u);
+}
+
+TEST(Torus2D, MakeNodeValidates) {
+  const Torus2D t(4, 4);
+  EXPECT_NO_THROW(t.make_node(3, 3));
+  EXPECT_THROW(t.make_node(4, 0), std::invalid_argument);
+  EXPECT_THROW(t.make_node(0, 4), std::invalid_argument);
+}
+
+TEST(Torus2D, StepsWrapAroundBothAxes) {
+  const Torus2D t(4, 4);
+  // +x from x=3 wraps to 0.
+  EXPECT_EQ(Torus2D::x_of(t.step(Torus2D::pack(3, 2), 0)), 0u);
+  // -x from x=0 wraps to 3.
+  EXPECT_EQ(Torus2D::x_of(t.step(Torus2D::pack(0, 2), 1)), 3u);
+  // +y from y=3 wraps to 0.
+  EXPECT_EQ(Torus2D::y_of(t.step(Torus2D::pack(1, 3), 2)), 0u);
+  // -y from y=0 wraps to 3.
+  EXPECT_EQ(Torus2D::y_of(t.step(Torus2D::pack(1, 0), 3)), 3u);
+}
+
+TEST(Torus2D, StepMovesExactlyOneAxis) {
+  const Torus2D t(8, 8);
+  const auto u = Torus2D::pack(4, 4);
+  for (int dir = 0; dir < 4; ++dir) {
+    const auto v = t.step(u, dir);
+    EXPECT_EQ(t.l1_distance(u, v), 1u) << "dir=" << dir;
+  }
+}
+
+TEST(Torus2D, KeyIsDenseAndUnique) {
+  const Torus2D t(5, 3);
+  std::set<std::uint64_t> keys;
+  for (std::uint32_t y = 0; y < 3; ++y) {
+    for (std::uint32_t x = 0; x < 5; ++x) {
+      const auto key = t.key(Torus2D::pack(x, y));
+      EXPECT_LT(key, t.num_nodes());
+      keys.insert(key);
+    }
+  }
+  EXPECT_EQ(keys.size(), t.num_nodes());
+}
+
+TEST(Torus2D, RandomNeighborIsAdjacentUniform) {
+  const Torus2D t(16, 16);
+  rng::Xoshiro256pp gen(3);
+  const auto u = Torus2D::pack(7, 9);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto v = t.random_neighbor(u, gen);
+    EXPECT_EQ(t.l1_distance(u, v), 1u);
+    ++counts[t.key(v)];
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [key, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.25, 0.01);
+  }
+}
+
+TEST(Torus2D, RandomNodeUniform) {
+  const Torus2D t(4, 4);
+  rng::Xoshiro256pp gen(4);
+  std::vector<int> counts(16, 0);
+  constexpr int kDraws = 64000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[t.key(t.random_node(gen))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 1.0 / 16.0, 0.005);
+  }
+}
+
+TEST(Torus2D, L1DistanceWrapAware) {
+  const Torus2D t(10, 10);
+  EXPECT_EQ(t.l1_distance(Torus2D::pack(0, 0), Torus2D::pack(9, 0)), 1u);
+  EXPECT_EQ(t.l1_distance(Torus2D::pack(0, 0), Torus2D::pack(5, 0)), 5u);
+  EXPECT_EQ(t.l1_distance(Torus2D::pack(0, 0), Torus2D::pack(9, 9)), 2u);
+  EXPECT_EQ(t.l1_distance(Torus2D::pack(2, 3), Torus2D::pack(2, 3)), 0u);
+}
+
+TEST(Torus2D, ForEachNeighborYieldsFourDistinct) {
+  const Torus2D t(8, 8);
+  std::set<std::uint64_t> seen;
+  t.for_each_neighbor(Torus2D::pack(2, 2),
+                      [&](Torus2D::node_type v) { seen.insert(t.key(v)); });
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Torus2D, NameMentionsDimensions) {
+  EXPECT_EQ(Torus2D(8, 4).name(), "torus2d(8x4)");
+}
+
+}  // namespace
+}  // namespace antdense::graph

@@ -1,0 +1,113 @@
+#include "graph/torus_kd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "rng/xoshiro256pp.hpp"
+
+namespace antdense::graph {
+namespace {
+
+TEST(TorusKD, BasicProperties) {
+  const TorusKD t(3, 8);
+  EXPECT_EQ(t.num_nodes(), 512u);
+  EXPECT_EQ(t.degree(), 6u);
+  EXPECT_EQ(t.dimensions(), 3u);
+  EXPECT_EQ(t.side(), 8u);
+}
+
+TEST(TorusKD, RejectsBadParameters) {
+  EXPECT_THROW(TorusKD(0, 8), std::invalid_argument);
+  EXPECT_THROW(TorusKD(17, 4), std::invalid_argument);
+  EXPECT_THROW(TorusKD(3, 1), std::invalid_argument);
+  // 16 dims * 5 bits = 80 > 64 bits.
+  EXPECT_THROW(TorusKD(16, 31), std::invalid_argument);
+}
+
+TEST(TorusKD, MakeNodeRoundTrip) {
+  const TorusKD t(4, 5);
+  const auto u = t.make_node({1, 2, 3, 4});
+  EXPECT_EQ(t.coordinate(u, 0), 1u);
+  EXPECT_EQ(t.coordinate(u, 1), 2u);
+  EXPECT_EQ(t.coordinate(u, 2), 3u);
+  EXPECT_EQ(t.coordinate(u, 3), 4u);
+}
+
+TEST(TorusKD, MakeNodeValidates) {
+  const TorusKD t(2, 4);
+  EXPECT_THROW(t.make_node({0}), std::invalid_argument);
+  EXPECT_THROW(t.make_node({0, 4}), std::invalid_argument);
+}
+
+TEST(TorusKD, StepWrapsPerDimension) {
+  const TorusKD t(3, 4);
+  const auto u = t.make_node({3, 0, 2});
+  EXPECT_EQ(t.coordinate(t.step(u, 0, true), 0), 0u);   // 3 +1 wraps
+  EXPECT_EQ(t.coordinate(t.step(u, 1, false), 1), 3u);  // 0 -1 wraps
+  EXPECT_EQ(t.coordinate(t.step(u, 2, true), 2), 3u);   // ordinary
+}
+
+TEST(TorusKD, StepTouchesOnlyOneDimension) {
+  const TorusKD t(4, 6);
+  const auto u = t.make_node({1, 2, 3, 4});
+  const auto v = t.step(u, 2, true);
+  EXPECT_EQ(t.coordinate(v, 0), 1u);
+  EXPECT_EQ(t.coordinate(v, 1), 2u);
+  EXPECT_EQ(t.coordinate(v, 2), 4u);
+  EXPECT_EQ(t.coordinate(v, 3), 4u);
+}
+
+TEST(TorusKD, KeyIsDenseAndUnique) {
+  const TorusKD t(2, 5);
+  std::set<std::uint64_t> keys;
+  for (std::uint32_t a = 0; a < 5; ++a) {
+    for (std::uint32_t b = 0; b < 5; ++b) {
+      const auto key = t.key(t.make_node({a, b}));
+      EXPECT_LT(key, t.num_nodes());
+      keys.insert(key);
+    }
+  }
+  EXPECT_EQ(keys.size(), 25u);
+}
+
+TEST(TorusKD, NonPowerOfTwoSideWrapsCorrectly) {
+  const TorusKD t(2, 6);
+  const auto u = t.make_node({5, 5});
+  const auto v = t.step(u, 0, true);
+  EXPECT_EQ(t.coordinate(v, 0), 0u);
+  EXPECT_EQ(t.num_nodes(), 36u);
+}
+
+TEST(TorusKD, RandomNeighborUniformOver2kDirections) {
+  const TorusKD t(3, 8);
+  rng::Xoshiro256pp gen(5);
+  const auto u = t.make_node({4, 4, 4});
+  std::map<std::uint64_t, int> counts;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[t.key(t.random_neighbor(u, gen))];
+  }
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [key, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 1.0 / 6.0, 0.01);
+  }
+}
+
+TEST(TorusKD, OneDimensionMatchesRingBehavior) {
+  const TorusKD t(1, 10);
+  EXPECT_EQ(t.num_nodes(), 10u);
+  EXPECT_EQ(t.degree(), 2u);
+}
+
+TEST(TorusKD, ForEachNeighborCount) {
+  const TorusKD t(3, 5);
+  int count = 0;
+  t.for_each_neighbor(t.make_node({1, 1, 1}),
+                      [&](TorusKD::node_type) { ++count; });
+  EXPECT_EQ(count, 6);
+}
+
+}  // namespace
+}  // namespace antdense::graph

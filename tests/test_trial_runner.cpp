@@ -1,0 +1,71 @@
+#include "sim/trial_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/torus2d.hpp"
+#include "stats/accumulator.hpp"
+
+namespace antdense::sim {
+namespace {
+
+using graph::Torus2D;
+
+DensityConfig small_config() {
+  DensityConfig cfg;
+  cfg.num_agents = 8;
+  cfg.rounds = 20;
+  return cfg;
+}
+
+TEST(CollectAllAgentEstimates, SizeIsTrialsTimesAgents) {
+  const Torus2D torus(8, 8);
+  const auto estimates =
+      collect_all_agent_estimates(torus, small_config(), 1, 10, 2);
+  EXPECT_EQ(estimates.size(), 80u);
+}
+
+TEST(CollectAllAgentEstimates, ThreadCountInvariant) {
+  const Torus2D torus(8, 8);
+  const auto one = collect_all_agent_estimates(torus, small_config(), 2, 12, 1);
+  const auto two = collect_all_agent_estimates(torus, small_config(), 2, 12, 2);
+  const auto four =
+      collect_all_agent_estimates(torus, small_config(), 2, 12, 4);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(two, four);
+}
+
+TEST(CollectSingleAgentEstimates, OnePerTrial) {
+  const Torus2D torus(8, 8);
+  const auto estimates =
+      collect_single_agent_estimates(torus, small_config(), 3, 25, 2);
+  EXPECT_EQ(estimates.size(), 25u);
+}
+
+TEST(CollectSingleAgentEstimates, MatchesDirectRun) {
+  const Torus2D torus(8, 8);
+  const auto estimates =
+      collect_single_agent_estimates(torus, small_config(), 4, 5, 1);
+  for (std::size_t trial = 0; trial < 5; ++trial) {
+    const DensityResult direct = run_density_walk(
+        torus, small_config(), rng::derive_seed(4, trial));
+    EXPECT_DOUBLE_EQ(estimates[trial],
+                     static_cast<double>(direct.collision_counts[0]) /
+                         direct.rounds);
+  }
+}
+
+TEST(CollectAllAgentEstimates, MeanNearTruth) {
+  const Torus2D torus(12, 12);
+  DensityConfig cfg;
+  cfg.num_agents = 15;
+  cfg.rounds = 64;
+  const auto estimates = collect_all_agent_estimates(torus, cfg, 5, 200, 2);
+  stats::Accumulator acc;
+  for (double e : estimates) {
+    acc.add(e);
+  }
+  EXPECT_NEAR(acc.mean(), 14.0 / 144.0, 5.0 * acc.standard_error() + 1e-12);
+}
+
+}  // namespace
+}  // namespace antdense::sim

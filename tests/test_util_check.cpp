@@ -1,0 +1,36 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace antdense::util {
+namespace {
+
+TEST(Check, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(ANTDENSE_CHECK(1 + 1 == 2, "math works"));
+}
+
+TEST(Check, FailingConditionThrowsInvalidArgument) {
+  EXPECT_THROW(ANTDENSE_CHECK(false, "precondition"), std::invalid_argument);
+}
+
+TEST(Check, MessageIncludesExpressionAndText) {
+  try {
+    ANTDENSE_CHECK(2 < 1, "two is not less than one");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+  }
+}
+
+TEST(Assert, FailingInvariantThrowsLogicError) {
+  EXPECT_THROW(ANTDENSE_ASSERT(false, "invariant"), std::logic_error);
+}
+
+TEST(Assert, PassingInvariantDoesNothing) {
+  EXPECT_NO_THROW(ANTDENSE_ASSERT(true, "ok"));
+}
+
+}  // namespace
+}  // namespace antdense::util

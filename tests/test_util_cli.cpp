@@ -1,0 +1,69 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace antdense::util {
+namespace {
+
+Args parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> full;
+  full.push_back("prog");
+  for (const char* a : argv) {
+    full.push_back(a);
+  }
+  return Args(static_cast<int>(full.size()), full.data());
+}
+
+TEST(Args, EqualsSyntax) {
+  const Args args = parse({"--steps=128", "--rate=0.5"});
+  EXPECT_EQ(args.get_int("steps", 0), 128);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.5);
+}
+
+TEST(Args, SpaceSyntax) {
+  const Args args = parse({"--steps", "64"});
+  EXPECT_EQ(args.get_int("steps", 0), 64);
+}
+
+TEST(Args, BareFlagIsTrue) {
+  const Args args = parse({"--verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_TRUE(args.has("verbose"));
+}
+
+TEST(Args, MissingKeysFallBack) {
+  const Args args = parse({});
+  EXPECT_EQ(args.get_int("absent", 7), 7);
+  EXPECT_EQ(args.get_string("absent", "dflt"), "dflt");
+  EXPECT_FALSE(args.get_bool("absent", false));
+  EXPECT_FALSE(args.has("absent"));
+}
+
+TEST(Args, PositionalArgumentsCollected) {
+  const Args args = parse({"input.txt", "--k=2", "other"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "other");
+}
+
+TEST(Args, BoolRecognizedSpellings) {
+  EXPECT_TRUE(parse({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=on"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+}
+
+TEST(Args, UintParsing) {
+  const Args args = parse({"--big=18446744073709551615"});
+  EXPECT_EQ(args.get_uint("big", 0), ~std::uint64_t{0});
+}
+
+TEST(Args, LaterFlagWins) {
+  const Args args = parse({"--k=1", "--k=2"});
+  EXPECT_EQ(args.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace antdense::util

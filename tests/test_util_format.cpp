@@ -1,0 +1,54 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace antdense::util {
+namespace {
+
+TEST(FormatFixed, BasicPrecision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.14159, 4), "3.1416");
+  EXPECT_EQ(format_fixed(0.0, 1), "0.0");
+  EXPECT_EQ(format_fixed(-2.5, 1), "-2.5");
+}
+
+TEST(FormatSci, BasicPrecision) {
+  EXPECT_EQ(format_sci(12345.0, 2), "1.23e+04");
+  EXPECT_EQ(format_sci(0.00123, 2), "1.23e-03");
+}
+
+TEST(FormatAuto, ZeroIsPlainZero) { EXPECT_EQ(format_auto(0.0), "0"); }
+
+TEST(FormatAuto, MidRangeUsesFixed) {
+  EXPECT_EQ(format_auto(1.5, 2), "1.50");
+  EXPECT_EQ(format_auto(-0.25, 2), "-0.25");
+}
+
+TEST(FormatAuto, TinyUsesScientific) {
+  const std::string s = format_auto(1e-7, 2);
+  EXPECT_NE(s.find('e'), std::string::npos) << s;
+}
+
+TEST(FormatAuto, HugeUsesScientific) {
+  const std::string s = format_auto(3.2e9, 2);
+  EXPECT_NE(s.find('e'), std::string::npos) << s;
+}
+
+TEST(FormatAuto, LargeIntegersPrintWithoutDecimals) {
+  EXPECT_EQ(format_auto(4096.0), "4096");
+}
+
+TEST(FormatCount, InsertsThousandsSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+}
+
+TEST(FormatPercent, Basic) {
+  EXPECT_EQ(format_percent(0.5, 0), "50%");
+  EXPECT_EQ(format_percent(0.1234, 1), "12.3%");
+}
+
+}  // namespace
+}  // namespace antdense::util

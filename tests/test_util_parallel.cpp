@@ -1,0 +1,69 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace antdense::util {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kTasks = 1000;
+  std::vector<std::atomic<int>> visits(kTasks);
+  parallel_for(kTasks, [&](std::size_t i) { ++visits[i]; }, 4);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroTasksIsNoOp) {
+  parallel_for(0, [&](std::size_t) { FAIL() << "must not be called"; }, 2);
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  std::vector<std::size_t> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(i); }, 1);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ResultIndependentOfThreadCount) {
+  constexpr std::size_t kTasks = 64;
+  auto run = [&](unsigned threads) {
+    std::vector<double> out(kTasks);
+    parallel_for(
+        kTasks, [&](std::size_t i) { out[i] = static_cast<double>(i * i); },
+        threads);
+    return out;
+  };
+  EXPECT_EQ(run(1), run(2));
+  EXPECT_EQ(run(2), run(8));
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [&](std::size_t i) {
+            if (i == 13) {
+              throw std::runtime_error("boom");
+            }
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, MoreThreadsThanTasksIsFine) {
+  std::atomic<int> total{0};
+  parallel_for(3, [&](std::size_t) { ++total; }, 16);
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(DefaultThreadCount, AtLeastOne) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace antdense::util

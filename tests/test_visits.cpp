@@ -1,0 +1,62 @@
+#include "walk/visits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/torus2d.hpp"
+
+namespace antdense::walk {
+namespace {
+
+using graph::Torus2D;
+
+TEST(MeasureVisits, MeanVisitsMatchesTOverA) {
+  // E[c_j] = (t+1)/A here (we also count a visit at round 0 when the
+  // uniform start lands on the target) — within noise of t/A.
+  const Torus2D torus(32, 32);  // A = 1024
+  const std::uint32_t t = 256;
+  const auto stats = measure_visits(torus, Torus2D::pack(5, 5), t, 60000,
+                                    1, 2);
+  EXPECT_NEAR(stats.mean_visits, (t + 1.0) / 1024.0, 0.03);
+}
+
+TEST(MeasureVisits, PVisitBelowMeanVisits) {
+  // P[c >= 1] <= E[c] always (Markov); strict here due to repeat visits.
+  const Torus2D torus(32, 32);
+  const auto stats = measure_visits(torus, Torus2D::pack(0, 0), 512, 30000,
+                                    2, 2);
+  EXPECT_LT(stats.p_visit, stats.mean_visits);
+}
+
+TEST(MeasureVisits, ConditionalVisitsGrowLogarithmically) {
+  // Corollary 15: E[c | c >= 1] = Theta(log 2t).  Quadrupling t should
+  // roughly add a constant (log 4) rather than multiply by 4.
+  const Torus2D torus(64, 64);
+  const auto short_stats =
+      measure_visits(torus, Torus2D::pack(3, 3), 128, 40000, 3, 2);
+  const auto long_stats =
+      measure_visits(torus, Torus2D::pack(3, 3), 512, 40000, 3, 2);
+  EXPECT_GT(long_stats.mean_visits_given_any,
+            short_stats.mean_visits_given_any);
+  EXPECT_LT(long_stats.mean_visits_given_any,
+            2.0 * short_stats.mean_visits_given_any);
+}
+
+TEST(MeasureVisits, CountsVectorConsistent) {
+  const Torus2D torus(16, 16);
+  const auto stats = measure_visits(torus, Torus2D::pack(1, 1), 64, 5000,
+                                    4, 2);
+  ASSERT_EQ(stats.counts.size(), 5000u);
+  double total = 0.0;
+  std::uint64_t visited = 0;
+  for (double c : stats.counts) {
+    total += c;
+    visited += c >= 1.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(stats.mean_visits, total / 5000.0, 1e-12);
+  EXPECT_NEAR(stats.p_visit, visited / 5000.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace antdense::walk
