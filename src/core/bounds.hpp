@@ -1,6 +1,13 @@
 // Closed-form theory bounds from the paper, used as overlays and
 // planning helpers.
 //
+// Paper: Musco, Su & Lynch, "Ant-Inspired Density Estimation via Random
+// Walks" (PODC 2016, arXiv:1603.02981).  Implements the re-collision
+// curves β(m) of Lemmas 4/20/22/23/25, the accumulated mass B(t) of
+// Lemma 19, the accuracy bounds of Theorem 1 and Theorem 21, the
+// independent-sampling Chernoff reference (Theorem 32 / Appendix A),
+// and the network-size budgets of Theorems 27 and 31 (Section 5.1).
+//
 // All bounds are stated in the paper up to unspecified constants; the
 // functions here use constant 1 unless a `constant` parameter is given,
 // so benches report *shape* ratios (measured / theory), which should be

@@ -7,6 +7,9 @@
 // can therefore invert the estimate in closed form — this header is that
 // inverse, with the error-propagation helper for planning how much extra
 // accuracy the raw estimate needs.
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981); full
+// concept-to-header map in docs/ARCHITECTURE.md.
 #pragma once
 
 #include "util/check.hpp"

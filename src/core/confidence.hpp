@@ -2,6 +2,12 @@
 // practical extension (Section 6.3 direction): an agent reports not just
 // d~ = c/t but an interval derived from its *own* observation stream.
 //
+// Paper: Musco, Su & Lynch, "Ant-Inspired Density Estimation via Random
+// Walks" (PODC 2016, arXiv:1603.02981).  Not an algorithm stated in the
+// paper; it builds directly on the paper's variance analysis — the
+// correlation-inflation factor below is Lemma 19's B(t) (log(2t) on the
+// 2-D torus, Lemma 4) applied to an empirical-Bernstein interval.
+//
 // The agent keeps per-round collision counts x_1..x_t (mean is d~) and
 // forms an empirical-Bernstein interval
 //     d~ ± [ sqrt(2 V log(3/δ) / t) + 3 log(3/δ) / t ]

@@ -1,5 +1,10 @@
 // Algorithm 1 — the paper's headline contribution.
 //
+// Paper: Musco, Su & Lynch, "Ant-Inspired Density Estimation via Random
+// Walks" (PODC 2016, arXiv:1603.02981).  This header implements
+// Algorithm 1 (Section 3) and the Theorem 1 round planner (Section 4);
+// see docs/ARCHITECTURE.md for the full concept-to-header map.
+//
 // Each agent walks randomly for t rounds, summing count(position) after
 // every step, and returns c/t.  Theorem 1: on the 2-D torus, with
 // t >= c2 log(1/δ)[loglog(1/δ) + log(1/dε)]²/(dε²) rounds (and t <= A),

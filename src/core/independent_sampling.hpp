@@ -9,6 +9,9 @@
 // that started stacked on the same square in the same state.
 // Theorem 32: t = Θ(log(1/δ)/(dε²)) suffices — the reference point the
 // random-walk algorithm is measured against.
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981); full
+// concept-to-header map in docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

@@ -6,6 +6,9 @@
 // f̃_P = d̃_P / d̃ estimates f_P = d_P / d; the paper shows that t rounds
 // sufficient for (ε, δ) estimation of d_P give a (1±O(ε)) estimate of
 // f_P with probability 1-2δ.
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981); full
+// concept-to-header map in docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

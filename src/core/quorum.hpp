@@ -5,6 +5,9 @@
 // d >= θ(1+γ) from d <= θ with probability 1-δ it suffices to estimate
 // with relative error ε = (γ/2)/(1+γ) and compare the estimate against
 // the midpoint threshold θ(1+γ/2).
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981); full
+// concept-to-header map in docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

@@ -10,6 +10,9 @@
 // otherwise, up to the Theorem 1 budget.  Densities far from the
 // threshold resolve in far fewer rounds than the worst-case budget —
 // the property the benches quantify.
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981); full
+// concept-to-header map in docs/ARCHITECTURE.md.
 #pragma once
 
 #include <algorithm>

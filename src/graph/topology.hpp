@@ -18,6 +18,9 @@
 //
 // A concept rather than a virtual base keeps the per-step cost inlined;
 // benches push billions of steps through these calls.
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981); full
+// concept-to-header map in docs/ARCHITECTURE.md.
 #pragma once
 
 #include <concepts>

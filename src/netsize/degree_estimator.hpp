@@ -3,6 +3,9 @@
 // With walks in the stationary distribution, E[1/deg(w)] = |V|/2|E| =
 // 1/avg_deg, so the sample mean of inverse degrees estimates 1/avg_deg.
 // Theorem 31: n = Θ((1/ε²δ) · avg_deg/min_deg) samples suffice.
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981); full
+// concept-to-header map in docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

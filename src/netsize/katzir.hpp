@@ -8,6 +8,9 @@
 // Every query budget goes into burn-in (R·M queries); the paper's
 // algorithm instead amortizes burn-in over t post-burn-in counting
 // rounds, which wins when mixing is slow.
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981); full
+// concept-to-header map in docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

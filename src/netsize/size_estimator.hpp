@@ -7,6 +7,9 @@
 //     C = avg_deg * sum_j c_j / (n(n-1)t)
 // has expectation 1/|V| (Lemma 28), so Ã = 1/C estimates the network
 // size.  Theorem 27: n²t = Θ((B(t)·avg_deg + 1)|V| / (ε²δ)) suffices.
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981); full
+// concept-to-header map in docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

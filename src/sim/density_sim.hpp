@@ -12,6 +12,9 @@
 //   - spurious_collision_probability: a phantom collision is recorded
 //     with probability p per round;
 //   - caller-supplied initial positions (non-uniform placement).
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981); full
+// concept-to-header map in docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

@@ -3,6 +3,9 @@
 // Θ(1/(m+1)) + O(1/A) on the 2-D torus, 0 for odd m) and Corollary 16
 // (moments of the equalization count over t steps grow as
 // k! w^k log^k(2t)).
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981); full
+// concept-to-header map in docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>

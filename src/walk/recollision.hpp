@@ -6,6 +6,9 @@
 // collision at round 0), walk both synchronously, and record for every
 // m <= m_max whether they occupy the same node at round m.  The estimate
 // of P[C | collision at 0] at each m comes from many independent trials.
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981); full
+// concept-to-header map in docs/ARCHITECTURE.md.
 #pragma once
 
 #include <cstdint>
