@@ -1,0 +1,151 @@
+// E-ENGINE — legacy-vs-engine stepping throughput.
+//
+// Times the frozen pre-engine round loop (sim/legacy_reference.hpp)
+// against the observer-based WalkEngine (sim/walk_engine.hpp, via the
+// run_density_walk wrapper) across agent counts and topologies, printing
+// a ns/agent-round table and writing the same records to a JSON artifact
+// (default BENCH_engine.json) for CI trending.
+//
+// Flags:
+//   --out=PATH        JSON output path (default BENCH_engine.json)
+//   --tiny            CI smoke mode: small sizes, one rep, seconds total
+//   --reps=N          timing repetitions, best-of (default 3; 1 in tiny)
+//   --budget=STEPS    target agent-steps per timed run (default 2e7)
+//
+// Acceptance: the engine path is no slower than the legacy loop at 10k
+// agents on the 2-D torus (the batched torus stepping usually makes it
+// faster); the JSON must parse and carry one record per (path, topology,
+// agents) cell.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "graph/hypercube.hpp"
+#include "graph/ring.hpp"
+#include "graph/torus2d.hpp"
+#include "graph/torus_kd.hpp"
+#include "sim/density_sim.hpp"
+#include "sim/legacy_reference.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace antdense;
+
+struct Cell {
+  std::string topology;
+  std::uint64_t agents = 0;
+  std::uint64_t rounds = 0;
+  double legacy_ns = 0.0;
+  double engine_ns = 0.0;
+};
+
+/// Best-of-`reps` ns/agent-round for one stepping path.
+template <typename RunFn>
+double time_path(RunFn&& run, std::uint64_t agents, std::uint64_t rounds,
+                 int reps) {
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    util::WallTimer timer;
+    run(static_cast<std::uint64_t>(rep));
+    const double ns = timer.elapsed_seconds() * 1e9 /
+                      (static_cast<double>(agents) * rounds);
+    best = ns < best ? ns : best;
+  }
+  return best;
+}
+
+template <graph::Topology T>
+Cell measure_cell(const T& topo, std::uint32_t agents, std::uint64_t budget,
+                  int reps) {
+  sim::DensityConfig cfg;
+  cfg.num_agents = agents;
+  cfg.rounds = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, budget / agents));
+
+  Cell cell;
+  cell.topology = topo.name();
+  cell.agents = agents;
+  cell.rounds = cfg.rounds;
+  // DoNotOptimize equivalent: fold a count into a volatile sink.
+  static volatile std::uint64_t sink = 0;
+  cell.legacy_ns = time_path(
+      [&](std::uint64_t rep) {
+        sink = sink + sim::legacy::run_density_walk(topo, cfg, 0xBE7C + rep)
+                          .collision_counts[0];
+      },
+      agents, cfg.rounds, reps);
+  cell.engine_ns = time_path(
+      [&](std::uint64_t rep) {
+        sink = sink + sim::run_density_walk(topo, cfg, 0xBE7C + rep)
+                          .collision_counts[0];
+      },
+      agents, cfg.rounds, reps);
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const bool tiny = args.get_bool("tiny", false);
+  const std::string out_path = args.get_string("out", "BENCH_engine.json");
+  const std::uint64_t budget =
+      args.get_uint("budget", tiny ? 200'000 : 20'000'000);
+  const int reps = static_cast<int>(args.get_uint("reps", tiny ? 1 : 3));
+
+  bench::print_banner(
+      "E-ENGINE", "unified WalkEngine vs the frozen legacy round loop",
+      "engine ns/agent-round <= legacy at 10k agents on torus2d; "
+      "BENCH_engine.json parses");
+
+  const std::vector<std::uint32_t> agent_counts =
+      tiny ? std::vector<std::uint32_t>{200, 1000}
+           : std::vector<std::uint32_t>{1000, 10000, 100000};
+
+  std::vector<Cell> cells;
+  for (std::uint32_t agents : agent_counts) {
+    // Keep density ~0.1 on the tori so occupancy work is realistic.
+    const auto side = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(agents) * 10.0)));
+    cells.push_back(
+        measure_cell(graph::Torus2D(side, side), agents, budget, reps));
+    cells.push_back(
+        measure_cell(graph::Ring(10 * agents), agents, budget, reps));
+    std::uint32_t k = 1;
+    while ((1ull << k) < 10ull * agents) {
+      ++k;
+    }
+    cells.push_back(measure_cell(graph::Hypercube(k), agents, budget, reps));
+    const auto side3 = static_cast<std::uint32_t>(
+        std::ceil(std::cbrt(static_cast<double>(agents) * 10.0)));
+    cells.push_back(
+        measure_cell(graph::TorusKD(3, side3), agents, budget, reps));
+  }
+
+  util::Table table({"topology", "agents", "rounds", "legacy ns/step",
+                     "engine ns/step", "speedup"});
+  std::vector<bench::BenchRecord> records;
+  for (const Cell& c : cells) {
+    table.add_row({c.topology, util::format_count(c.agents),
+                   util::format_count(c.rounds),
+                   util::format_fixed(c.legacy_ns, 2),
+                   util::format_fixed(c.engine_ns, 2),
+                   util::format_fixed(c.legacy_ns / c.engine_ns, 3)});
+    records.push_back({"legacy", c.topology, c.agents, c.rounds,
+                       c.legacy_ns});
+    records.push_back({"engine", c.topology, c.agents, c.rounds,
+                       c.engine_ns});
+  }
+  table.print_markdown(std::cout);
+
+  bench::write_json(out_path, records);
+  std::cout << "\nwrote " << records.size() << " records to " << out_path
+            << "\n";
+  return 0;
+}

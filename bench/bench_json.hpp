@@ -1,0 +1,39 @@
+// Machine-readable bench output: a flat list of timing records
+// serialized as a JSON array, so CI can archive per-commit perf
+// artifacts (BENCH_*.json) and trend them.
+//
+// Schema (one object per record):
+//   { "name": str,                 // which stepping path, e.g. "engine"
+//     "topology": str,             // Topology::name()
+//     "agents": int,
+//     "rounds": int,
+//     "ns_per_agent_round": float }
+//
+// The writer is deliberately tiny — no external JSON dependency — and
+// escapes strings / validates numbers so the output always parses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace antdense::bench {
+
+struct BenchRecord {
+  std::string name;
+  std::string topology;
+  std::uint64_t agents = 0;
+  std::uint64_t rounds = 0;
+  double ns_per_agent_round = 0.0;
+};
+
+/// Serializes the records as a pretty-printed JSON array.  Throws
+/// std::invalid_argument on non-finite timings (never emits NaN/Inf).
+std::string to_json(const std::vector<BenchRecord>& records);
+
+/// Writes to_json(records) to `path`, throwing std::runtime_error if the
+/// file cannot be written.
+void write_json(const std::string& path,
+                const std::vector<BenchRecord>& records);
+
+}  // namespace antdense::bench

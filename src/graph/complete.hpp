@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "graph/topology.hpp"
@@ -36,6 +37,20 @@ class CompleteGraph {
     return r >= u ? r + 1 : r;
   }
 
+  /// Batched stepping, same generator stream as sequential
+  /// random_neighbor calls.  `out[i]` replaces `in[i]`; the spans may
+  /// alias elementwise.
+  template <rng::BitGenerator64 G>
+  void random_neighbors(std::span<const node_type> in,
+                        std::span<node_type> out, G& gen) const {
+    ANTDENSE_CHECK(in.size() == out.size(),
+                   "bulk neighbor sampling needs equal-sized spans");
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const std::uint64_t r = rng::uniform_below(gen, size_ - 1);
+      out[i] = r >= in[i] ? r + 1 : r;
+    }
+  }
+
   std::uint64_t key(node_type u) const { return u; }
 
   template <typename Fn>
@@ -54,5 +69,6 @@ class CompleteGraph {
 };
 
 static_assert(Topology<CompleteGraph>);
+static_assert(BulkTopology<CompleteGraph>);
 
 }  // namespace antdense::graph

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "graph/graph.hpp"
@@ -44,6 +45,21 @@ class ExplicitTopology {
     return graph_->neighbor(u, i);
   }
 
+  /// Batched stepping, same generator stream as sequential
+  /// random_neighbor calls.  `out[i]` replaces `in[i]`; the spans may
+  /// alias elementwise.
+  template <rng::BitGenerator64 G>
+  void random_neighbors(std::span<const node_type> in,
+                        std::span<node_type> out, G& gen) const {
+    ANTDENSE_CHECK(in.size() == out.size(),
+                   "bulk neighbor sampling needs equal-sized spans");
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const auto pick =
+          static_cast<std::uint32_t>(rng::uniform_below(gen, degree_));
+      out[i] = graph_->neighbor(in[i], pick);
+    }
+  }
+
   std::uint64_t key(node_type u) const { return u; }
 
   template <typename Fn>
@@ -65,5 +81,6 @@ class ExplicitTopology {
 };
 
 static_assert(Topology<ExplicitTopology>);
+static_assert(BulkTopology<ExplicitTopology>);
 
 }  // namespace antdense::graph

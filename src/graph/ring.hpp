@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "graph/topology.hpp"
@@ -36,6 +37,23 @@ class Ring {
                    : (u == 0 ? size_ - 1 : u - 1);
   }
 
+  /// Batched stepping: same generator stream as sequential
+  /// random_neighbor calls, with the wrap done as a branchless add of
+  /// +1 or size-1 (≡ -1 mod size) plus one conditional subtract.
+  /// `out[i]` replaces `in[i]`; the spans may alias elementwise.
+  template <rng::BitGenerator64 G>
+  void random_neighbors(std::span<const node_type> in,
+                        std::span<node_type> out, G& gen) const {
+    ANTDENSE_CHECK(in.size() == out.size(),
+                   "bulk neighbor sampling needs equal-sized spans");
+    detail::blocked_random_neighbors(
+        in, out, gen, [this](node_type u, std::uint64_t word) {
+          const std::uint64_t delta = (word >> 63) != 0 ? 1 : size_ - 1;
+          const node_type v = u + delta;
+          return v >= size_ ? v - size_ : v;
+        });
+  }
+
   std::uint64_t key(node_type u) const { return u; }
 
   /// Wrap-aware distance, for tests.
@@ -57,5 +75,6 @@ class Ring {
 };
 
 static_assert(Topology<Ring>);
+static_assert(BulkTopology<Ring>);
 
 }  // namespace antdense::graph

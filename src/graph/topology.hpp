@@ -23,11 +23,15 @@
 // concept-to-header map in docs/ARCHITECTURE.md.
 #pragma once
 
+#include <algorithm>
 #include <concepts>
 #include <cstdint>
+#include <span>
 #include <string>
 
+#include "rng/random.hpp"
 #include "rng/xoshiro256pp.hpp"
+#include "util/check.hpp"
 
 namespace antdense::graph {
 
@@ -42,5 +46,65 @@ concept Topology = requires(const T& t, const typename T::node_type& u,
   { t.key(u) } -> std::same_as<std::uint64_t>;
   { t.name() } -> std::convertible_to<std::string>;
 };
+
+/// A topology with a batched neighbor-sampling member.  The member must
+/// consume the generator exactly as in.size() sequential random_neighbor
+/// calls would (same draws, same order), so batched and per-agent
+/// stepping are interchangeable bit-for-bit at a fixed seed.
+template <typename T>
+concept BulkTopology =
+    Topology<T> &&
+    requires(const T& t, std::span<const typename T::node_type> in,
+             std::span<typename T::node_type> out, rng::Xoshiro256pp& g) {
+      { t.random_neighbors(in, out, g) } -> std::same_as<void>;
+    };
+
+namespace detail {
+
+/// Shared scaffold for topologies whose step needs exactly one raw
+/// generator word (ring, torus2d): draws a block of words sequentially
+/// (one per node — the stream-compatibility contract), then applies
+/// `step(node, word)` in a tight loop the compiler can vectorize.
+/// The spans may alias elementwise.
+template <typename Node, rng::BitGenerator64 G, typename StepFn>
+inline void blocked_random_neighbors(std::span<const Node> in,
+                                     std::span<Node> out, G& gen,
+                                     StepFn&& step) {
+  constexpr std::size_t kBlock = 256;
+  std::uint64_t words[kBlock];
+  for (std::size_t done = 0; done < in.size();) {
+    const std::size_t m = std::min(kBlock, in.size() - done);
+    for (std::size_t j = 0; j < m; ++j) {
+      words[j] = gen();
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      out[done + j] = step(in[done + j], words[j]);
+    }
+    done += m;
+  }
+}
+
+}  // namespace detail
+
+/// Samples one neighbor for every node in `in`, writing to `out`
+/// (`out[i]` replaces `in[i]`; the spans may alias elementwise, so
+/// stepping a position array in place is fine).  Dispatches to the
+/// topology's batched member when it has one, else falls back to
+/// sequential random_neighbor calls — the generator stream is identical
+/// either way.
+template <Topology T, rng::BitGenerator64 G>
+inline void random_neighbors(const T& topo,
+                             std::span<const typename T::node_type> in,
+                             std::span<typename T::node_type> out, G& gen) {
+  ANTDENSE_CHECK(in.size() == out.size(),
+                 "bulk neighbor sampling needs equal-sized spans");
+  if constexpr (requires { topo.random_neighbors(in, out, gen); }) {
+    topo.random_neighbors(in, out, gen);
+  } else {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      out[i] = topo.random_neighbor(in[i], gen);
+    }
+  }
+}
 
 }  // namespace antdense::graph

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "graph/topology.hpp"
@@ -66,6 +67,22 @@ class Torus2D {
     return step(u, static_cast<int>(dir));
   }
 
+  /// Batched stepping: one neighbor per input node, same generator
+  /// stream as sequential random_neighbor calls.  Draws a block of raw
+  /// words first, then applies a branchless wrap, so the position update
+  /// runs as a tight select-based loop instead of a per-agent switch.
+  /// `out[i]` replaces `in[i]`; the spans may alias elementwise.
+  template <rng::BitGenerator64 G>
+  void random_neighbors(std::span<const node_type> in,
+                        std::span<node_type> out, G& gen) const {
+    ANTDENSE_CHECK(in.size() == out.size(),
+                   "bulk neighbor sampling needs equal-sized spans");
+    detail::blocked_random_neighbors(
+        in, out, gen, [this](node_type u, std::uint64_t word) {
+          return step_branchless(u, static_cast<std::uint32_t>(word >> 62));
+        });
+  }
+
   /// Deterministic step, dir in {0:+x, 1:-x, 2:+y, 3:-y}.  Exposed for
   /// the displacement experiments and for the independent-sampling
   /// baseline (Algorithm 4), which walks a fixed pattern.
@@ -110,10 +127,26 @@ class Torus2D {
   }
 
  private:
+  /// step() without the switch: adds width-1 / height-1 for the backward
+  /// directions (≡ -1 mod size) and wraps with one conditional subtract,
+  /// so the compiler can turn the bulk loop into compare-and-blend code.
+  node_type step_branchless(node_type u, std::uint32_t dir) const {
+    std::uint32_t x = x_of(u);
+    std::uint32_t y = y_of(u);
+    const std::uint32_t dx = dir == 0 ? 1u : (dir == 1 ? width_ - 1 : 0u);
+    const std::uint32_t dy = dir == 2 ? 1u : (dir == 3 ? height_ - 1 : 0u);
+    x += dx;
+    x = x >= width_ ? x - width_ : x;
+    y += dy;
+    y = y >= height_ ? y - height_ : y;
+    return pack(x, y);
+  }
+
   std::uint32_t width_;
   std::uint32_t height_;
 };
 
 static_assert(Topology<Torus2D>);
+static_assert(BulkTopology<Torus2D>);
 
 }  // namespace antdense::graph

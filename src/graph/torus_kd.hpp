@@ -9,6 +9,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,22 @@ class TorusKD {
     return step(u, dim, forward);
   }
 
+  /// Batched stepping, same generator stream as sequential
+  /// random_neighbor calls (the 2k-way direction draw keeps Lemire
+  /// rejection, so raw words cannot be prefetched).  `out[i]` replaces
+  /// `in[i]`; the spans may alias elementwise.
+  template <rng::BitGenerator64 G>
+  void random_neighbors(std::span<const node_type> in,
+                        std::span<node_type> out, G& gen) const {
+    ANTDENSE_CHECK(in.size() == out.size(),
+                   "bulk neighbor sampling needs equal-sized spans");
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const std::uint64_t pick = rng::uniform_below(gen, 2ULL * k_);
+      out[i] = step(in[i], static_cast<std::uint32_t>(pick >> 1),
+                    (pick & 1) != 0);
+    }
+  }
+
   node_type step(node_type u, std::uint32_t dim, bool forward) const {
     const std::uint32_t shift = dim * bits_;
     auto c = static_cast<std::uint32_t>((u >> shift) & mask_);
@@ -118,5 +135,6 @@ class TorusKD {
 };
 
 static_assert(Topology<TorusKD>);
+static_assert(BulkTopology<TorusKD>);
 
 }  // namespace antdense::graph

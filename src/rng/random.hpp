@@ -4,6 +4,7 @@
 // one multiplication in the common case, no modulo in the hot loop.
 #pragma once
 
+#include <cmath>
 #include <concepts>
 #include <cstdint>
 #include <vector>
@@ -66,6 +67,43 @@ inline bool bernoulli(G& gen, double p) {
 template <BitGenerator64 G>
 inline bool coin_flip(G& gen) {
   return (gen() >> 63) != 0;
+}
+
+/// Binomial(n, p) sample: the number of successes in n independent
+/// Bernoulli(p) trials, drawn without iterating all n trials.  Uses the
+/// geometric-skip (second waiting time) method — each uniform draw jumps
+/// over a geometric run of failures — so the expected cost is
+/// O(n * min(p, 1-p) + 1) draws instead of n.  The engine uses this to
+/// collapse the per-partner detection-miss loop into one call per agent.
+template <BitGenerator64 G>
+inline std::uint64_t binomial(G& gen, std::uint64_t n, double p) {
+  ANTDENSE_CHECK(p >= 0.0 && p <= 1.0, "binomial probability must be in [0,1]");
+  if (n == 0 || p == 0.0) {
+    return 0;
+  }
+  if (p == 1.0) {
+    return n;
+  }
+  if (p > 0.5) {
+    return n - binomial(gen, n, 1.0 - p);
+  }
+  const double log_q = std::log1p(-p);  // log(1-p) < 0
+  std::uint64_t successes = 0;
+  std::uint64_t trials_used = 0;
+  while (true) {
+    const double u = uniform_unit(gen);
+    // Failures before the next success: Geometric(p) on {0, 1, 2, ...}.
+    const double skip = std::floor(std::log1p(-u) / log_q);
+    if (skip >= static_cast<double>(n - trials_used)) {
+      break;  // the next success would land beyond trial n
+    }
+    trials_used += static_cast<std::uint64_t>(skip) + 1;
+    ++successes;
+    if (trials_used >= n) {
+      break;
+    }
+  }
+  return successes;
 }
 
 /// Fisher–Yates shuffle.

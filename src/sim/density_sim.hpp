@@ -1,17 +1,27 @@
-// The synchronous multi-agent random-walk engine (the paper's model,
+// The synchronous multi-agent random-walk drivers (the paper's model,
 // Section 2): N anonymous agents on a regular topology, one step per
 // round, collision counting through count(position) at the end of each
-// round.
+// round.  Both drivers are thin wrappers over the shared round loop in
+// sim/walk_engine.hpp — run_density_walk is the engine plus a
+// CollisionObserver, run_property_walk the engine plus a
+// PropertyObserver.
 //
-// The engine also implements the perturbations Section 6.1 proposes for
+// The drivers also implement the perturbations Section 6.1 proposes for
 // robustness studies (they are *off* by default, matching the paper's
 // model exactly):
 //   - lazy_probability: agent stays put with probability p each round;
 //   - detection_miss_probability: each colliding partner goes undetected
-//     independently with probability p;
+//     independently with probability p (sampled as one binomial draw per
+//     agent);
 //   - spurious_collision_probability: a phantom collision is recorded
 //     with probability p per round;
 //   - caller-supplied initial positions (non-uniform placement).
+//
+// Determinism contract: for a fixed seed, results are bit-identical to
+// the pre-engine loops (frozen in sim/legacy_reference.hpp) in every
+// mode except detection_miss_probability > 0, whose stream was
+// re-goldened when the per-partner Bernoulli loop became a binomial
+// draw.  tests/test_walk_engine.cpp pins both sides of this contract.
 //
 // Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981); full
 // concept-to-header map in docs/ARCHITECTURE.md.
@@ -21,10 +31,8 @@
 #include <vector>
 
 #include "graph/topology.hpp"
-#include "rng/random.hpp"
 #include "rng/splitmix64.hpp"
-#include "rng/xoshiro256pp.hpp"
-#include "sim/collision_counter.hpp"
+#include "sim/walk_engine.hpp"
 #include "util/check.hpp"
 
 namespace antdense::sim {
@@ -47,6 +55,15 @@ struct DensityConfig {
     ANTDENSE_CHECK(spurious_collision_probability >= 0.0 &&
                        spurious_collision_probability <= 1.0,
                    "spurious probability must be in [0,1]");
+  }
+
+  /// The movement-only slice of this config, for the walk engine.
+  WalkConfig walk_config() const {
+    WalkConfig cfg;
+    cfg.num_agents = num_agents;
+    cfg.rounds = rounds;
+    cfg.lazy_probability = lazy_probability;
+    return cfg;
   }
 };
 
@@ -82,65 +99,14 @@ DensityResult run_density_walk(
     const T& topo, const DensityConfig& cfg, std::uint64_t seed,
     const std::vector<typename T::node_type>* initial_positions = nullptr) {
   cfg.validate();
-  const std::uint32_t n_agents = cfg.num_agents;
-  ANTDENSE_CHECK(initial_positions == nullptr ||
-                     initial_positions->size() == n_agents,
-                 "initial positions must match agent count");
-
-  rng::Xoshiro256pp gen(rng::derive_seed(seed, 0x51u));
-  std::vector<typename T::node_type> pos(n_agents);
-  if (initial_positions != nullptr) {
-    pos = *initial_positions;
-  } else {
-    for (auto& p : pos) {
-      p = topo.random_node(gen);
-    }
-  }
-
-  std::vector<std::uint64_t> keys(n_agents);
-  std::vector<std::uint64_t> counts(n_agents, 0);
-  CollisionCounter counter(n_agents);
-
-  const bool lazy = cfg.lazy_probability > 0.0;
-  const bool noisy = cfg.detection_miss_probability > 0.0 ||
-                     cfg.spurious_collision_probability > 0.0;
-
-  for (std::uint32_t r = 0; r < cfg.rounds; ++r) {
-    counter.begin_round();
-    for (std::uint32_t i = 0; i < n_agents; ++i) {
-      if (!lazy || !rng::bernoulli(gen, cfg.lazy_probability)) {
-        pos[i] = topo.random_neighbor(pos[i], gen);
-      }
-      keys[i] = topo.key(pos[i]);
-      counter.add(keys[i]);
-    }
-    if (!noisy) {
-      for (std::uint32_t i = 0; i < n_agents; ++i) {
-        counts[i] += counter.occupancy(keys[i]) - 1;
-      }
-    } else {
-      for (std::uint32_t i = 0; i < n_agents; ++i) {
-        std::uint32_t others = counter.occupancy(keys[i]) - 1;
-        if (cfg.detection_miss_probability > 0.0) {
-          std::uint32_t detected = 0;
-          for (std::uint32_t j = 0; j < others; ++j) {
-            if (!rng::bernoulli(gen, cfg.detection_miss_probability)) {
-              ++detected;
-            }
-          }
-          others = detected;
-        }
-        if (cfg.spurious_collision_probability > 0.0 &&
-            rng::bernoulli(gen, cfg.spurious_collision_probability)) {
-          ++others;
-        }
-        counts[i] += others;
-      }
-    }
-  }
+  CollisionObserver observer(
+      cfg.num_agents, {.detection_miss = cfg.detection_miss_probability,
+                       .spurious = cfg.spurious_collision_probability});
+  run_walk(topo, cfg.walk_config(), rng::derive_seed(seed, 0x51u),
+           initial_positions, observer);
 
   DensityResult result;
-  result.collision_counts = std::move(counts);
+  result.collision_counts = observer.take_counts();
   result.rounds = cfg.rounds;
   result.num_nodes = topo.num_nodes();
   return result;
@@ -155,46 +121,24 @@ struct PropertyResult {
 
 /// Two-class variant for Section 5.2: agents additionally detect whether
 /// a colliding partner carries property P, tracking both encounter
-/// counters simultaneously (one walk, two rates).
+/// counters simultaneously (one walk, two rates).  Honors
+/// cfg.lazy_probability (the pre-engine loop silently ignored it); the
+/// sensing-noise probabilities still apply only to run_density_walk.
 template <graph::Topology T>
 PropertyResult run_property_walk(const T& topo, const DensityConfig& cfg,
                                  const std::vector<bool>& has_property,
                                  std::uint64_t seed) {
   cfg.validate();
-  const std::uint32_t n_agents = cfg.num_agents;
-  ANTDENSE_CHECK(has_property.size() == n_agents,
+  ANTDENSE_CHECK(has_property.size() == cfg.num_agents,
                  "property flags must match agent count");
+  PropertyObserver observer(has_property);
+  run_walk(topo, cfg.walk_config(), rng::derive_seed(seed, 0x52u),
+           static_cast<const std::vector<typename T::node_type>*>(nullptr),
+           observer);
 
-  rng::Xoshiro256pp gen(rng::derive_seed(seed, 0x52u));
-  std::vector<typename T::node_type> pos(n_agents);
-  for (auto& p : pos) {
-    p = topo.random_node(gen);
-  }
-
-  std::vector<std::uint64_t> keys(n_agents);
   PropertyResult result;
-  result.total_counts.assign(n_agents, 0);
-  result.property_counts.assign(n_agents, 0);
-  CollisionCounter all_counter(n_agents);
-  CollisionCounter prop_counter(n_agents);
-
-  for (std::uint32_t r = 0; r < cfg.rounds; ++r) {
-    all_counter.begin_round();
-    prop_counter.begin_round();
-    for (std::uint32_t i = 0; i < n_agents; ++i) {
-      pos[i] = topo.random_neighbor(pos[i], gen);
-      keys[i] = topo.key(pos[i]);
-      all_counter.add(keys[i]);
-      if (has_property[i]) {
-        prop_counter.add(keys[i]);
-      }
-    }
-    for (std::uint32_t i = 0; i < n_agents; ++i) {
-      result.total_counts[i] += all_counter.occupancy(keys[i]) - 1;
-      const std::uint32_t prop_occ = prop_counter.occupancy(keys[i]);
-      result.property_counts[i] += prop_occ - (has_property[i] ? 1 : 0);
-    }
-  }
+  result.total_counts = observer.take_total_counts();
+  result.property_counts = observer.take_property_counts();
   result.rounds = cfg.rounds;
   result.num_nodes = topo.num_nodes();
   return result;

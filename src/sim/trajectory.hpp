@@ -1,8 +1,9 @@
 // Running-estimate trajectories: Algorithm 1 is an *anytime* algorithm —
-// the estimate c/r is valid after every round r.  This engine variant
-// records the trajectory of each tracked agent's running estimate at a
-// set of checkpoints, powering the convergence-profile experiments and
-// the quorum-sensing example's decision-latency analysis.
+// the estimate c/r is valid after every round r.  This driver composes
+// the shared walk engine with a CollisionObserver (accumulates counts)
+// and a TrajectoryObserver (snapshots running estimates at checkpoints),
+// powering the convergence-profile experiments and the quorum-sensing
+// example's decision-latency analysis.
 #pragma once
 
 #include <cstdint>
@@ -10,8 +11,7 @@
 
 #include "graph/topology.hpp"
 #include "rng/splitmix64.hpp"
-#include "rng/xoshiro256pp.hpp"
-#include "sim/collision_counter.hpp"
+#include "sim/walk_engine.hpp"
 #include "util/check.hpp"
 
 namespace antdense::sim {
@@ -35,52 +35,23 @@ TrajectoryResult run_trajectory(const T& topo, std::uint32_t num_agents,
                                 const std::vector<std::uint32_t>& checkpoints,
                                 std::uint64_t seed) {
   ANTDENSE_CHECK(num_agents >= 2, "need at least two agents");
-  ANTDENSE_CHECK(tracked_agents >= 1 && tracked_agents <= num_agents,
-                 "tracked agent count out of range");
-  ANTDENSE_CHECK(!checkpoints.empty(), "need at least one checkpoint");
-  for (std::size_t i = 0; i < checkpoints.size(); ++i) {
-    ANTDENSE_CHECK(checkpoints[i] >= 1, "checkpoints are 1-based rounds");
-    ANTDENSE_CHECK(i == 0 || checkpoints[i] > checkpoints[i - 1],
-                   "checkpoints must be strictly increasing");
-  }
+  CollisionObserver counts(num_agents);
+  // Validates tracked_agents and the checkpoint sequence.
+  TrajectoryObserver trajectory(counts, tracked_agents, checkpoints);
 
-  rng::Xoshiro256pp gen(rng::derive_seed(seed, 0x7124u));
-  std::vector<typename T::node_type> pos(num_agents);
-  for (auto& p : pos) {
-    p = topo.random_node(gen);
-  }
-  std::vector<std::uint64_t> keys(num_agents);
-  std::vector<std::uint64_t> counts(num_agents, 0);
-  CollisionCounter counter(num_agents);
+  WalkConfig cfg;
+  cfg.num_agents = num_agents;
+  cfg.rounds = checkpoints.back();
+  // Pack order matters: counts must update before trajectory reads them.
+  run_walk(topo, cfg, rng::derive_seed(seed, 0x7124u),
+           static_cast<const std::vector<typename T::node_type>*>(nullptr),
+           counts, trajectory);
 
   TrajectoryResult result;
-  result.checkpoints = checkpoints;
+  result.checkpoints = trajectory.checkpoints();
+  result.estimates = trajectory.take_estimates();
   result.true_density = static_cast<double>(num_agents - 1) /
                         static_cast<double>(topo.num_nodes());
-  result.estimates.assign(tracked_agents, {});
-  for (auto& row : result.estimates) {
-    row.reserve(checkpoints.size());
-  }
-
-  std::size_t next_checkpoint = 0;
-  const std::uint32_t total_rounds = checkpoints.back();
-  for (std::uint32_t r = 1; r <= total_rounds; ++r) {
-    counter.begin_round();
-    for (std::uint32_t i = 0; i < num_agents; ++i) {
-      pos[i] = topo.random_neighbor(pos[i], gen);
-      keys[i] = topo.key(pos[i]);
-      counter.add(keys[i]);
-    }
-    for (std::uint32_t i = 0; i < num_agents; ++i) {
-      counts[i] += counter.occupancy(keys[i]) - 1;
-    }
-    if (r == checkpoints[next_checkpoint]) {
-      for (std::uint32_t a = 0; a < tracked_agents; ++a) {
-        result.estimates[a].push_back(static_cast<double>(counts[a]) / r);
-      }
-      ++next_checkpoint;
-    }
-  }
   return result;
 }
 

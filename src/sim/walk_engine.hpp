@@ -1,0 +1,229 @@
+// The unified synchronous round loop (Musco, Su & Lynch, PODC 2016,
+// arXiv:1603.02981, Algorithm 1), factored so that every workload —
+// density estimation, two-class property counting, trajectory recording,
+// local-density profiling, and anything future — shares ONE hot loop
+// instead of re-copying it.
+//
+// Structure of one round (identical to the original loops):
+//   1. counter.begin_round()
+//   2. every agent steps: the batched topology API when the walk is not
+//      lazy (graph::random_neighbors — same generator stream as
+//      sequential calls), the legacy per-agent Bernoulli/step loop when
+//      it is;
+//   3. keys are recomputed and the occupancy counter filled;
+//   4. each observer's after_round hook fires, in pack order, seeing the
+//      round's keys, the occupancy counter, the positions (if it asks
+//      for them), and the engine's generator (for noise draws).
+//
+// Observers are a compile-time pack, so the round loop inlines their
+// hooks with zero dispatch cost — the engine with a single
+// CollisionObserver compiles to the same code shape as the original
+// run_density_walk.  Generator-stream compatibility with the legacy
+// loops is part of the contract (tests/test_walk_engine.cpp pins it
+// bit-for-bit); the one deliberate re-golden is the detection-miss path,
+// which now uses a single binomial draw per agent (rng::binomial)
+// instead of a per-partner Bernoulli loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "rng/random.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "sim/collision_counter.hpp"
+#include "util/check.hpp"
+
+namespace antdense::sim {
+
+/// Movement-only configuration of the round loop.  What happens with the
+/// occupancy information (noise, snapshots, ...) belongs to observers.
+struct WalkConfig {
+  std::uint32_t num_agents = 0;
+  std::uint32_t rounds = 0;
+  double lazy_probability = 0.0;
+
+  void validate() const;
+};
+
+/// What an observer sees at the end of each round.  Everything is a view
+/// into engine state; observers must not hold onto it past the call.
+/// `gen` is the engine's generator: observers that draw from it (noise
+/// models) become part of the reproducible stream, in pack order.
+struct RoundView {
+  std::uint32_t round = 0;  // 1-based
+  std::uint32_t num_agents = 0;
+  std::span<const std::uint64_t> keys;  // keys[i] = key of agent i's node
+  const CollisionCounter& counter;      // occupancy of the current round
+  rng::Xoshiro256pp& gen;
+};
+
+/// An observer is any type with `after_round(view)` or, when it needs
+/// agent positions (node handles, not keys), `after_round(view, pos)`.
+template <typename O, typename Node>
+concept WalkObserverFor =
+    requires(O& o, const RoundView& v, std::span<const Node> pos) {
+      requires requires { o.after_round(v); } ||
+                   requires { o.after_round(v, pos); };
+    };
+
+/// Per-agent cumulative collision counts — Algorithm 1's `c`, with the
+/// Section 6.1 sensing perturbations (detection misses, spurious
+/// detections) applied at observation time.
+class CollisionObserver {
+ public:
+  struct Noise {
+    double detection_miss = 0.0;  // each partner goes undetected w.p. p
+    double spurious = 0.0;        // phantom collision recorded w.p. p
+  };
+
+  explicit CollisionObserver(std::uint32_t num_agents)
+      : CollisionObserver(num_agents, Noise{}) {}
+  CollisionObserver(std::uint32_t num_agents, Noise noise);
+
+  void after_round(const RoundView& v);
+
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::vector<std::uint64_t> take_counts() { return std::move(counts_); }
+
+ private:
+  Noise noise_;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Two-class counting for Section 5.2: total encounters and encounters
+/// with property-P agents, from the same walk.
+class PropertyObserver {
+ public:
+  explicit PropertyObserver(std::vector<bool> has_property);
+
+  void after_round(const RoundView& v);
+
+  const std::vector<std::uint64_t>& total_counts() const {
+    return total_counts_;
+  }
+  const std::vector<std::uint64_t>& property_counts() const {
+    return property_counts_;
+  }
+  std::vector<std::uint64_t> take_total_counts() {
+    return std::move(total_counts_);
+  }
+  std::vector<std::uint64_t> take_property_counts() {
+    return std::move(property_counts_);
+  }
+
+ private:
+  std::vector<bool> has_property_;
+  std::vector<std::uint64_t> total_counts_;
+  std::vector<std::uint64_t> property_counts_;
+  CollisionCounter prop_counter_;
+};
+
+/// Snapshots the running estimate c/r of the first `tracked_agents`
+/// agents at each checkpoint (Algorithm 1 is anytime).  Reads counts
+/// from a CollisionObserver, which must appear *before* this observer in
+/// the engine's pack so its counts are current.
+class TrajectoryObserver {
+ public:
+  TrajectoryObserver(const CollisionObserver& source,
+                     std::uint32_t tracked_agents,
+                     std::vector<std::uint32_t> checkpoints);
+
+  void after_round(const RoundView& v);
+
+  const std::vector<std::uint32_t>& checkpoints() const {
+    return checkpoints_;
+  }
+  /// estimates()[a][i] = agent a's running estimate at checkpoint i.
+  const std::vector<std::vector<double>>& estimates() const {
+    return estimates_;
+  }
+  std::vector<std::vector<double>> take_estimates() {
+    return std::move(estimates_);
+  }
+
+ private:
+  const CollisionObserver* source_;
+  std::uint32_t tracked_;
+  std::vector<std::uint32_t> checkpoints_;
+  std::size_t next_checkpoint_ = 0;
+  std::vector<std::vector<double>> estimates_;
+};
+
+namespace detail {
+
+/// Shared precondition for checkpoint-driven observers: non-empty,
+/// 1-based, strictly increasing.
+void validate_checkpoints(const std::vector<std::uint32_t>& checkpoints);
+
+template <typename Obs, typename Node>
+inline void notify_after_round(Obs& obs, const RoundView& view,
+                               std::span<const Node> positions) {
+  if constexpr (requires { obs.after_round(view, positions); }) {
+    obs.after_round(view, positions);
+  } else {
+    obs.after_round(view);
+  }
+}
+
+}  // namespace detail
+
+/// Runs the synchronous round loop: place agents (uniform i.i.d., or the
+/// caller's `initial_positions`), step them `cfg.rounds` times, fill the
+/// occupancy counter, and fire every observer after each round.
+/// `stream_seed` seeds the generator directly — callers that expose a
+/// user-facing seed derive their own stream tag first (see
+/// run_density_walk).  Deterministic in `stream_seed`.
+template <graph::Topology T, class... Obs>
+  requires(WalkObserverFor<Obs, typename T::node_type> && ...)
+void run_walk(const T& topo, const WalkConfig& cfg, std::uint64_t stream_seed,
+              const std::vector<typename T::node_type>* initial_positions,
+              Obs&... observers) {
+  cfg.validate();
+  using node = typename T::node_type;
+  const std::uint32_t n_agents = cfg.num_agents;
+  ANTDENSE_CHECK(initial_positions == nullptr ||
+                     initial_positions->size() == n_agents,
+                 "initial positions must match agent count");
+
+  rng::Xoshiro256pp gen(stream_seed);
+  std::vector<node> pos(n_agents);
+  if (initial_positions != nullptr) {
+    pos = *initial_positions;
+  } else {
+    for (auto& p : pos) {
+      p = topo.random_node(gen);
+    }
+  }
+
+  std::vector<std::uint64_t> keys(n_agents);
+  CollisionCounter counter(n_agents);
+  const bool lazy = cfg.lazy_probability > 0.0;
+
+  for (std::uint32_t r = 1; r <= cfg.rounds; ++r) {
+    counter.begin_round();
+    if (lazy) {
+      // Interleaved stay/step draws — must match the legacy stream, so
+      // no batching here.
+      for (std::uint32_t i = 0; i < n_agents; ++i) {
+        if (!rng::bernoulli(gen, cfg.lazy_probability)) {
+          pos[i] = topo.random_neighbor(pos[i], gen);
+        }
+      }
+    } else {
+      graph::random_neighbors(topo, std::span<const node>(pos),
+                              std::span<node>(pos), gen);
+    }
+    for (std::uint32_t i = 0; i < n_agents; ++i) {
+      keys[i] = topo.key(pos[i]);
+      counter.add(keys[i]);
+    }
+    const RoundView view{r, n_agents, std::span<const std::uint64_t>(keys),
+                         counter, gen};
+    (detail::notify_after_round(observers, view, std::span<const node>(pos)),
+     ...);
+  }
+}
+
+}  // namespace antdense::sim

@@ -28,6 +28,41 @@ TEST(DensityConfig, ValidatesFields) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
+TEST(DensityConfig, ValidatesProbabilityEdges) {
+  DensityConfig cfg;
+  cfg.num_agents = 2;
+  cfg.rounds = 1;
+  // Laziness of exactly 1.0 (never moves) is rejected; just below is ok.
+  cfg.lazy_probability = std::nextafter(1.0, 0.0);
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.lazy_probability = -0.01;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.lazy_probability = 0.0;
+  // Miss/spurious may be exactly 0 or 1, nothing outside.
+  cfg.detection_miss_probability = 1.0;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.detection_miss_probability = -0.2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.detection_miss_probability = 0.0;
+  cfg.spurious_collision_probability = 1.0;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.spurious_collision_probability = 1.0 + 1e-9;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.spurious_collision_probability = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(RunDensityWalk, InvalidConfigRejectedBeforeRunning) {
+  const Torus2D torus(8, 8);
+  DensityConfig cfg;  // zero agents AND zero rounds
+  EXPECT_THROW(run_density_walk(torus, cfg, 1), std::invalid_argument);
+  cfg.num_agents = 4;
+  EXPECT_THROW(run_density_walk(torus, cfg, 1), std::invalid_argument);
+  cfg.rounds = 2;
+  cfg.lazy_probability = 1.0;
+  EXPECT_THROW(run_density_walk(torus, cfg, 1), std::invalid_argument);
+}
+
 TEST(RunDensityWalk, DeterministicInSeed) {
   const Torus2D torus(16, 16);
   DensityConfig cfg;
@@ -171,6 +206,22 @@ TEST(RunDensityWalk, LazyWalkStillUnbiased) {
     }
   }
   EXPECT_NEAR(acc.mean(), 7.0 / 100.0, 4.0 * acc.standard_error() + 1e-12);
+}
+
+TEST(RunPropertyWalk, PropertySizeMismatchThrows) {
+  const Torus2D torus(8, 8);
+  DensityConfig cfg;
+  cfg.num_agents = 5;
+  cfg.rounds = 2;
+  const std::vector<bool> too_few(4, true);
+  EXPECT_THROW(run_property_walk(torus, cfg, too_few, 1),
+               std::invalid_argument);
+  const std::vector<bool> too_many(6, true);
+  EXPECT_THROW(run_property_walk(torus, cfg, too_many, 1),
+               std::invalid_argument);
+  const std::vector<bool> empty;
+  EXPECT_THROW(run_property_walk(torus, cfg, empty, 1),
+               std::invalid_argument);
 }
 
 TEST(RunPropertyWalk, SplitsCountsByClass) {

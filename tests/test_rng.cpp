@@ -160,6 +160,58 @@ TEST(Bernoulli, RateMatches) {
   EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
 }
 
+TEST(Binomial, DegenerateCases) {
+  Xoshiro256pp gen(40);
+  EXPECT_EQ(binomial(gen, 0, 0.5), 0u);
+  EXPECT_EQ(binomial(gen, 100, 0.0), 0u);
+  EXPECT_EQ(binomial(gen, 100, 1.0), 100u);
+  EXPECT_THROW(binomial(gen, 10, -0.1), std::invalid_argument);
+  EXPECT_THROW(binomial(gen, 10, 1.1), std::invalid_argument);
+}
+
+TEST(Binomial, NeverExceedsTrialCount) {
+  Xoshiro256pp gen(41);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LE(binomial(gen, 7, 0.9), 7u);
+  }
+}
+
+TEST(Binomial, MeanAndVarianceMatch) {
+  // n p and n p (1-p), on both sides of the p = 0.5 symmetry split.
+  for (double p : {0.05, 0.3, 0.5, 0.7, 0.95}) {
+    Xoshiro256pp gen(static_cast<std::uint64_t>(p * 1000) + 42);
+    constexpr std::uint64_t kN = 20;
+    constexpr int kDraws = 200000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < kDraws; ++i) {
+      const auto x = static_cast<double>(binomial(gen, kN, p));
+      sum += x;
+      sum_sq += x * x;
+    }
+    const double mean = sum / kDraws;
+    const double var = sum_sq / kDraws - mean * mean;
+    EXPECT_NEAR(mean, kN * p, 0.05) << "p = " << p;
+    EXPECT_NEAR(var, kN * p * (1.0 - p), 0.15) << "p = " << p;
+  }
+}
+
+TEST(Binomial, SmallCountsMatchExactPmf) {
+  // n = 2 is the common occupancy case in the engine; check the full
+  // distribution, not just moments.
+  Xoshiro256pp gen(44);
+  constexpr double kP = 0.35;
+  constexpr int kDraws = 300000;
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[binomial(gen, 2, kP)];
+  }
+  const double q = 1.0 - kP;
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, q * q, 0.005);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kDraws, 2 * kP * q, 0.005);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kDraws, kP * kP, 0.005);
+}
+
 TEST(CoinFlip, RoughlyFair) {
   Xoshiro256pp gen(17);
   int heads = 0;

@@ -34,6 +34,34 @@ TEST(CollectAllAgentEstimates, ThreadCountInvariant) {
   EXPECT_EQ(two, four);
 }
 
+TEST(CollectAllAgentEstimates, OversubscribedThreadsStillDeterministic) {
+  // Locks in the seed-derivation contract: each trial's randomness comes
+  // from its index, never the executing thread — including when there
+  // are more workers (8) than this machine may have cores, so trials
+  // interleave arbitrarily.
+  const Torus2D torus(12, 12);
+  DensityConfig cfg;
+  cfg.num_agents = 10;
+  cfg.rounds = 30;
+  const auto t1 = collect_all_agent_estimates(torus, cfg, 6, 33, 1);
+  const auto t2 = collect_all_agent_estimates(torus, cfg, 6, 33, 2);
+  const auto t8 = collect_all_agent_estimates(torus, cfg, 6, 33, 8);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+}
+
+TEST(CollectSingleAgentEstimates, OversubscribedThreadsStillDeterministic) {
+  const Torus2D torus(12, 12);
+  DensityConfig cfg;
+  cfg.num_agents = 10;
+  cfg.rounds = 30;
+  const auto t1 = collect_single_agent_estimates(torus, cfg, 7, 33, 1);
+  const auto t2 = collect_single_agent_estimates(torus, cfg, 7, 33, 2);
+  const auto t8 = collect_single_agent_estimates(torus, cfg, 7, 33, 8);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+}
+
 TEST(CollectSingleAgentEstimates, OnePerTrial) {
   const Torus2D torus(8, 8);
   const auto estimates =
