@@ -1,10 +1,12 @@
-// E-ENGINE — legacy-vs-engine stepping throughput.
+// E-ENGINE — legacy-vs-engine-vs-type-erased stepping throughput.
 //
 // Times the frozen pre-engine round loop (sim/legacy_reference.hpp)
 // against the observer-based WalkEngine (sim/walk_engine.hpp, via the
-// run_density_walk wrapper) across agent counts and topologies, printing
-// a ns/agent-round table and writing the same records to a JSON artifact
-// (default BENCH_engine.json) for CI trending.
+// run_density_walk wrapper) and against the same engine driven through a
+// type-erased graph::AnyTopology handle (the scenario layer's hot
+// path), across agent counts and topologies, printing a ns/agent-round
+// table and writing the same records to a JSON artifact (default
+// BENCH_engine.json) for CI trending.
 //
 // Flags:
 //   --out=PATH        JSON output path (default BENCH_engine.json)
@@ -14,8 +16,9 @@
 //
 // Acceptance: the engine path is no slower than the legacy loop at 10k
 // agents on the 2-D torus (the batched torus stepping usually makes it
-// faster); the JSON must parse and carry one record per (path, topology,
-// agents) cell.
+// faster), the anytopology path is within 10% of the engine path there
+// (dispatch is per round, not per step), and the JSON must parse and
+// carry one record per (path, topology, agents) cell.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -25,6 +28,7 @@
 
 #include "bench_common.hpp"
 #include "bench_json.hpp"
+#include "graph/any_topology.hpp"
 #include "graph/hypercube.hpp"
 #include "graph/ring.hpp"
 #include "graph/torus2d.hpp"
@@ -43,6 +47,7 @@ struct Cell {
   std::uint64_t rounds = 0;
   double legacy_ns = 0.0;
   double engine_ns = 0.0;
+  double any_ns = 0.0;  // engine driven through graph::AnyTopology
 };
 
 /// Best-of-`reps` ns/agent-round for one stepping path.
@@ -86,6 +91,13 @@ Cell measure_cell(const T& topo, std::uint32_t agents, std::uint64_t budget,
                           .collision_counts[0];
       },
       agents, cfg.rounds, reps);
+  const graph::AnyTopology any(topo);
+  cell.any_ns = time_path(
+      [&](std::uint64_t rep) {
+        sink = sink + sim::run_density_walk(any, cfg, 0xBE7C + rep)
+                          .collision_counts[0];
+      },
+      agents, cfg.rounds, reps);
   return cell;
 }
 
@@ -100,9 +112,10 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(args.get_uint("reps", tiny ? 1 : 3));
 
   bench::print_banner(
-      "E-ENGINE", "unified WalkEngine vs the frozen legacy round loop",
+      "E-ENGINE",
+      "unified WalkEngine vs the frozen legacy round loop vs AnyTopology",
       "engine ns/agent-round <= legacy at 10k agents on torus2d; "
-      "BENCH_engine.json parses");
+      "anytopology within 10% of engine there; BENCH_engine.json parses");
 
   const std::vector<std::uint32_t> agent_counts =
       tiny ? std::vector<std::uint32_t>{200, 1000}
@@ -129,18 +142,23 @@ int main(int argc, char** argv) {
   }
 
   util::Table table({"topology", "agents", "rounds", "legacy ns/step",
-                     "engine ns/step", "speedup"});
+                     "engine ns/step", "any ns/step", "speedup",
+                     "erasure overhead"});
   std::vector<bench::BenchRecord> records;
   for (const Cell& c : cells) {
     table.add_row({c.topology, util::format_count(c.agents),
                    util::format_count(c.rounds),
                    util::format_fixed(c.legacy_ns, 2),
                    util::format_fixed(c.engine_ns, 2),
-                   util::format_fixed(c.legacy_ns / c.engine_ns, 3)});
+                   util::format_fixed(c.any_ns, 2),
+                   util::format_fixed(c.legacy_ns / c.engine_ns, 3),
+                   util::format_fixed(c.any_ns / c.engine_ns, 3)});
     records.push_back({"legacy", c.topology, c.agents, c.rounds,
                        c.legacy_ns});
     records.push_back({"engine", c.topology, c.agents, c.rounds,
                        c.engine_ns});
+    records.push_back({"anytopology", c.topology, c.agents, c.rounds,
+                       c.any_ns});
   }
   table.print_markdown(std::cout);
 

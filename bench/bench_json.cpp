@@ -1,74 +1,28 @@
 #include "bench_json.hpp"
 
 #include <cmath>
-#include <cstdio>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace antdense::bench {
 
-namespace {
-
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(c));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string format_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
-}
-
-}  // namespace
-
 std::string to_json(const std::vector<BenchRecord>& records) {
-  std::ostringstream os;
-  os << "[\n";
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const BenchRecord& r = records[i];
+  util::JsonValue doc = util::JsonValue::array();
+  for (const BenchRecord& r : records) {
     ANTDENSE_CHECK(std::isfinite(r.ns_per_agent_round),
                    "bench timing must be finite");
-    os << "  {\"name\": \"" << escape(r.name) << "\", \"topology\": \""
-       << escape(r.topology) << "\", \"agents\": " << r.agents
-       << ", \"rounds\": " << r.rounds << ", \"ns_per_agent_round\": "
-       << format_double(r.ns_per_agent_round) << "}";
-    if (i + 1 < records.size()) {
-      os << ",";
-    }
-    os << "\n";
+    util::JsonValue rec = util::JsonValue::object();
+    rec.set("name", r.name);
+    rec.set("topology", r.topology);
+    rec.set("agents", r.agents);
+    rec.set("rounds", r.rounds);
+    rec.set("ns_per_agent_round", r.ns_per_agent_round);
+    doc.push_back(std::move(rec));
   }
-  os << "]\n";
-  return os.str();
+  return doc.dump() + "\n";
 }
 
 void write_json(const std::string& path,

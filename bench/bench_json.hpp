@@ -9,8 +9,9 @@
 //     "rounds": int,
 //     "ns_per_agent_round": float }
 //
-// The writer is deliberately tiny — no external JSON dependency — and
-// escapes strings / validates numbers so the output always parses.
+// Serialization rides on the shared in-repo writer (util/json.hpp) — no
+// external JSON dependency — which escapes strings and rejects
+// non-finite numbers so the output always parses.
 #pragma once
 
 #include <cstdint>

@@ -2,56 +2,63 @@
 //
 //   $ ./quickstart [--side=64] [--agents=410] [--eps=0.2] [--delta=0.1]
 //
-// Plans the round budget with Theorem 1, runs every agent's estimator
-// simultaneously, and reports how many agents landed within (1±eps)d.
-#include <algorithm>
-#include <cmath>
+// Plans the round budget with Theorem 1 (core::plan_rounds caps it at A,
+// the theorem's validity range), runs every agent's estimator
+// simultaneously through the scenario facade, and reports how many
+// agents landed within (1±eps)d.  The same run is available from the
+// unified driver:
+//
+//   $ ./antdense_run --topology=torus2d:64x64 --workload=density
+//       --agents=410 --eps=0.2 --delta=0.1
+#include <exception>
 #include <iostream>
+#include <string>
 
-#include "core/density_estimator.hpp"
-#include "graph/torus2d.hpp"
+#include "scenario/experiment.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace antdense;
   const util::Args args(argc, argv);
-  const auto side = static_cast<std::uint32_t>(args.get_uint("side", 64));
-  const auto agents = static_cast<std::uint32_t>(args.get_uint("agents", 410));
-  const double eps = args.get_double("eps", 0.2);
-  const double delta = args.get_double("delta", 0.1);
-  const std::uint64_t seed = args.get_uint("seed", 42);
+  args.require_known({"side", "agents", "eps", "delta", "seed"});
+  const auto side = args.get_uint("side", 64);
 
-  const graph::Torus2D torus = graph::Torus2D::square(side);
-  const double d = static_cast<double>(agents - 1) /
-                   static_cast<double>(torus.num_nodes());
+  scenario::ScenarioSpec spec;
+  spec.topology =
+      "torus2d:" + std::to_string(side) + "x" + std::to_string(side);
+  spec.workload = scenario::Workload::kDensity;
+  spec.agents = static_cast<std::uint32_t>(args.get_uint("agents", 410));
+  spec.eps = args.get_double("eps", 0.2);
+  spec.delta = args.get_double("delta", 0.1);
+  spec.seed = args.get_uint("seed", 42);
+  spec.rounds = 0;  // plan from (eps, delta) via core::plan_rounds
 
-  // Theorem 1 round budget (capped at A, the theorem's validity range).
-  const auto rounds = static_cast<std::uint32_t>(std::min<std::uint64_t>(
-      core::recommended_rounds(eps, d, delta), torus.num_nodes()));
+  // Validates the spec, builds the torus, and resolves the Theorem 1
+  // round budget.
+  const scenario::Experiment experiment(spec);
+  const scenario::ScenarioSpec& resolved = experiment.spec();
 
-  std::cout << "Estimating density on " << torus.name() << " with " << agents
-            << " agents (true d = " << util::format_fixed(d, 4) << ")\n";
-  std::cout << "Theorem 1 budget for (eps=" << eps << ", delta=" << delta
-            << "): t = " << rounds << " rounds\n\n";
+  std::cout << "Estimating density on " << experiment.topology().name()
+            << " with " << resolved.agents << " agents\n";
+  std::cout << "Theorem 1 budget for (eps=" << resolved.eps
+            << ", delta=" << resolved.delta << "): t = " << resolved.rounds
+            << " rounds\n\n";
 
-  const auto result = core::estimate_density(torus, agents, rounds, seed);
+  const scenario::ScenarioResult result = experiment.run();
 
-  int within = 0;
-  double sum = 0.0;
-  for (double estimate : result.estimates) {
-    sum += estimate;
-    if (std::fabs(estimate - d) <= eps * d) {
-      ++within;
-    }
-  }
+  std::cout << "true density:       "
+            << util::format_fixed(result.true_value, 4) << "\n";
   std::cout << "mean estimate:      "
-            << util::format_fixed(sum / agents, 4) << "\n";
-  std::cout << "agents within eps:  " << within << "/" << agents << " ("
-            << util::format_percent(static_cast<double>(within) / agents, 1)
-            << ", target >= " << util::format_percent(1.0 - delta, 0)
-            << ")\n";
+            << util::format_fixed(result.summary.mean, 4) << "\n";
+  std::cout << "agents within eps:  "
+            << util::format_percent(result.summary.within_eps, 1)
+            << " (target >= "
+            << util::format_percent(1.0 - resolved.delta, 0) << ")\n";
   std::cout << "agent 0's estimate: "
             << util::format_fixed(result.estimates[0], 4) << "\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "quickstart: " << e.what() << "\n";
+  return 1;
 }

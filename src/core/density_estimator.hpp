@@ -15,7 +15,9 @@
 // This header is the user-facing API; the engine lives in sim/.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/bounds.hpp"
@@ -62,6 +64,22 @@ inline std::uint64_t recommended_rounds(double epsilon, double density,
                                         double delta,
                                         double constant = 1.0) {
   return theorem1_rounds(epsilon, density, delta, constant);
+}
+
+/// The executable round plan: Theorem 1's budget capped at A = num_nodes
+/// (the theorem's validity range t <= A) and clamped into the engine's
+/// uint32 round counter, never below one round.  Shared by the
+/// quickstart example and the scenario layer's (eps, delta) resolution
+/// so the cap lives in exactly one place.
+inline std::uint32_t plan_rounds(double epsilon, double delta, double density,
+                                 std::uint64_t num_nodes,
+                                 double constant = 1.0) {
+  const std::uint64_t budget =
+      theorem1_rounds(epsilon, density, delta, constant);
+  const std::uint64_t capped = std::max<std::uint64_t>(
+      1, std::min({budget, num_nodes,
+                   std::uint64_t{std::numeric_limits<std::uint32_t>::max()}}));
+  return static_cast<std::uint32_t>(capped);
 }
 
 }  // namespace antdense::core

@@ -107,4 +107,24 @@ inline void random_neighbors(const T& topo,
   }
 }
 
+/// Computes `out[i] = topo.key(nodes[i])` for every node, dispatching to
+/// a batched `keys` member when the topology has one.  Concrete
+/// topologies inline the per-node loop; type-erased handles
+/// (graph::AnyTopology) override the batched member so occupancy
+/// counting costs one virtual call per round, not one per agent.
+template <Topology T>
+inline void node_keys(const T& topo,
+                      std::span<const typename T::node_type> nodes,
+                      std::span<std::uint64_t> out) {
+  ANTDENSE_CHECK(nodes.size() == out.size(),
+                 "key batching needs equal-sized spans");
+  if constexpr (requires { topo.keys(nodes, out); }) {
+    topo.keys(nodes, out);
+  } else {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      out[i] = topo.key(nodes[i]);
+    }
+  }
+}
+
 }  // namespace antdense::graph

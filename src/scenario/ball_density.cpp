@@ -1,0 +1,78 @@
+#include "scenario/ball_density.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace antdense::scenario {
+
+BallDensityObserver::BallDensityObserver(
+    const graph::AnyTopology& topo, std::uint32_t radius,
+    std::vector<std::uint32_t> checkpoints)
+    : topo_(&topo), radius_(radius), checkpoints_(std::move(checkpoints)) {
+  sim::detail::validate_checkpoints(checkpoints_);
+}
+
+void BallDensityObserver::after_round(
+    const sim::RoundView& v, std::span<const std::uint64_t> positions) {
+  if (next_checkpoint_ >= checkpoints_.size() ||
+      v.round != checkpoints_[next_checkpoint_]) {
+    return;
+  }
+  ++next_checkpoint_;
+
+  std::vector<double> row;
+  row.reserve(positions.size());
+  // Reused BFS scratch: nodes are deduplicated by key, which is unique
+  // per node for every Topology.  Co-located agents see the same ball,
+  // so density is memoized per occupied node.
+  std::unordered_set<std::uint64_t> visited;
+  std::vector<std::uint64_t> frontier;
+  std::vector<std::uint64_t> next;
+  std::unordered_map<std::uint64_t, double> by_start_key;
+  for (const std::uint64_t start : positions) {
+    const auto memo = by_start_key.find(topo_->key(start));
+    if (memo != by_start_key.end()) {
+      row.push_back(memo->second);
+      continue;
+    }
+    visited.clear();
+    frontier.clear();
+    frontier.push_back(start);
+    visited.insert(topo_->key(start));
+    std::uint64_t occupants = v.counter.occupancy(topo_->key(start));
+    for (std::uint32_t depth = 0; depth < radius_; ++depth) {
+      // Saturated: the ball already covers the graph (e.g. the complete
+      // graph at radius >= 1), so further expansion finds nothing new.
+      if (frontier.empty() || visited.size() == topo_->num_nodes()) {
+        break;
+      }
+      next.clear();
+      for (const std::uint64_t u : frontier) {
+        const std::size_t before = next.size();
+        topo_->append_neighbors(u, next);
+        // Keep only first-visited nodes in the next frontier.
+        std::size_t kept = before;
+        for (std::size_t i = before; i < next.size(); ++i) {
+          const std::uint64_t k = topo_->key(next[i]);
+          if (visited.insert(k).second) {
+            occupants += v.counter.occupancy(k);
+            next[kept++] = next[i];
+          }
+        }
+        next.resize(kept);
+      }
+      frontier.swap(next);
+    }
+    // `occupants` counts the agent itself exactly once.
+    const double density = static_cast<double>(occupants - 1) /
+                           static_cast<double>(visited.size());
+    by_start_key.emplace(topo_->key(start), density);
+    row.push_back(density);
+  }
+  densities_.push_back(std::move(row));
+}
+
+}  // namespace antdense::scenario

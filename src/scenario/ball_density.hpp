@@ -1,0 +1,52 @@
+// Topology-generic local density: the scenario layer's counterpart of
+// sim::LocalDensityObserver (which is Torus2D-specific).  The ball
+// around an agent is enumerated by breadth-first expansion through
+// AnyTopology::append_neighbors, so "agents within graph distance r"
+// works on every substrate the Registry can build; on the 2-D torus the
+// graph-distance ball *is* the wrap-aware L1 ball, and the two observers
+// agree exactly (tests/test_scenario.cpp pins this).
+//
+// Cost: one BFS per agent per checkpoint (O(agents x ball size)) — the
+// walk's hot loop is untouched; balls are only expanded at snapshots.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/any_topology.hpp"
+#include "sim/walk_engine.hpp"
+
+namespace antdense::scenario {
+
+/// WalkEngine observer recording, at each checkpoint, every agent's
+/// local density: (other agents within graph distance `radius`) /
+/// (nodes within graph distance `radius`).
+class BallDensityObserver {
+ public:
+  BallDensityObserver(const graph::AnyTopology& topo, std::uint32_t radius,
+                      std::vector<std::uint32_t> checkpoints);
+
+  void after_round(const sim::RoundView& v,
+                   std::span<const std::uint64_t> positions);
+
+  const std::vector<std::uint32_t>& checkpoints() const {
+    return checkpoints_;
+  }
+  /// densities()[i][a] = agent a's local density at checkpoint i.
+  const std::vector<std::vector<double>>& densities() const {
+    return densities_;
+  }
+  std::vector<std::vector<double>> take_densities() {
+    return std::move(densities_);
+  }
+
+ private:
+  const graph::AnyTopology* topo_;
+  std::uint32_t radius_;
+  std::vector<std::uint32_t> checkpoints_;
+  std::size_t next_checkpoint_ = 0;
+  std::vector<std::vector<double>> densities_;
+};
+
+}  // namespace antdense::scenario

@@ -1,0 +1,254 @@
+#include "scenario/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/density_estimator.hpp"
+#include "core/property_frequency.hpp"
+#include "rng/splitmix64.hpp"
+#include "scenario/ball_density.hpp"
+#include "sim/density_sim.hpp"
+#include "sim/trial_runner.hpp"
+#include "sim/walk_engine.hpp"
+#include "stats/accumulator.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace antdense::scenario {
+
+namespace {
+
+ScenarioSummary summarize(const std::vector<double>& estimates,
+                          double true_value, double eps) {
+  stats::Accumulator acc;
+  for (double e : estimates) {
+    acc.add(e);
+  }
+  ScenarioSummary s;
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.sample_stddev();
+  s.standard_error = acc.standard_error();
+  s.min = acc.count() == 0 ? 0.0 : acc.min();
+  s.max = acc.count() == 0 ? 0.0 : acc.max();
+  std::uint64_t within = 0;
+  for (double e : estimates) {
+    if (std::fabs(e - true_value) <= eps * true_value) {
+      ++within;
+    }
+  }
+  s.within_eps = estimates.empty()
+                     ? 0.0
+                     : static_cast<double>(within) /
+                           static_cast<double>(estimates.size());
+  return s;
+}
+
+sim::DensityConfig density_config(const ScenarioSpec& spec) {
+  sim::DensityConfig cfg;
+  cfg.num_agents = spec.agents;
+  cfg.rounds = spec.rounds;
+  cfg.lazy_probability = spec.lazy_probability;
+  cfg.detection_miss_probability = spec.detection_miss_probability;
+  cfg.spurious_collision_probability = spec.spurious_collision_probability;
+  return cfg;
+}
+
+}  // namespace
+
+util::JsonValue ScenarioResult::to_json() const {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("schema", "antdense.scenario.v1");
+  doc.set("spec", spec.to_json());
+  doc.set("topology", topology_name);
+  doc.set("num_nodes", num_nodes);
+  doc.set("workload", workload_name(spec.workload));
+  doc.set("rounds", spec.rounds);
+  doc.set("true_value", true_value);
+
+  util::JsonValue summary_doc = util::JsonValue::object();
+  summary_doc.set("count", summary.count);
+  summary_doc.set("mean", summary.mean);
+  summary_doc.set("stddev", summary.stddev);
+  summary_doc.set("standard_error", summary.standard_error);
+  summary_doc.set("min", summary.min);
+  summary_doc.set("max", summary.max);
+  summary_doc.set("within_eps", summary.within_eps);
+  doc.set("summary", summary_doc);
+
+  util::JsonValue estimates_doc = util::JsonValue::array();
+  for (double e : estimates) {
+    estimates_doc.push_back(e);
+  }
+  doc.set("estimates", estimates_doc);
+
+  util::JsonValue checkpoints_doc = util::JsonValue::array();
+  for (std::uint32_t c : checkpoints) {
+    checkpoints_doc.push_back(c);
+  }
+  doc.set("checkpoints", checkpoints_doc);
+
+  util::JsonValue series_doc = util::JsonValue::array();
+  for (const auto& trace : series) {
+    util::JsonValue trace_doc = util::JsonValue::array();
+    for (double v : trace) {
+      trace_doc.push_back(v);
+    }
+    series_doc.push_back(std::move(trace_doc));
+  }
+  doc.set("series", series_doc);
+
+  doc.set("elapsed_seconds", elapsed_seconds);
+  return doc;
+}
+
+Experiment::Experiment(ScenarioSpec spec)
+    : Experiment(std::move(spec), Registry::built_in()) {}
+
+Experiment::Experiment(ScenarioSpec spec, const Registry& registry)
+    : spec_(std::move(spec)), topo_(registry.make(spec_.topology)) {
+  spec_.validate();
+  spec_.topology = registry.canonical(spec_.topology);
+  ANTDENSE_CHECK(spec_.workload == Workload::kDensity ||
+                     (spec_.detection_miss_probability == 0.0 &&
+                      spec_.spurious_collision_probability == 0.0),
+                 "sensing-noise knobs (miss, spurious) apply to the "
+                 "density workload only");
+  ANTDENSE_CHECK(spec_.trials == 1 ||
+                     spec_.workload == Workload::kDensity ||
+                     spec_.workload == Workload::kProperty,
+                 "trials > 1 applies to the density and property "
+                 "workloads only (trajectory and local-density record "
+                 "one walk)");
+  spec_.tracked = std::min(spec_.tracked, spec_.agents);
+  if (spec_.rounds == 0) {
+    const double density = static_cast<double>(spec_.agents - 1) /
+                           static_cast<double>(topo_.num_nodes());
+    spec_.rounds = core::plan_rounds(spec_.eps, spec_.delta, density,
+                                     topo_.num_nodes());
+  }
+}
+
+ScenarioResult Experiment::run() const {
+  util::WallTimer timer;
+  ScenarioResult result;
+  result.spec = spec_;
+  result.topology_name = topo_.name();
+  result.num_nodes = topo_.num_nodes();
+  result.true_value = static_cast<double>(spec_.agents - 1) /
+                      static_cast<double>(topo_.num_nodes());
+
+  switch (spec_.workload) {
+    case Workload::kDensity: {
+      // One trial matches run_density_walk(seed) exactly; fan-outs pool
+      // derived per-trial streams through the parallel trial runner.
+      if (spec_.trials == 1) {
+        result.estimates =
+            sim::run_density_walk(topo_, density_config(spec_), spec_.seed)
+                .estimates();
+      } else {
+        result.estimates = sim::collect_all_agent_estimates(
+            topo_, density_config(spec_), spec_.seed, spec_.trials,
+            spec_.threads);
+      }
+      break;
+    }
+
+    case Workload::kProperty: {
+      // estimate_property_frequency with the spec's trial fan-out and
+      // lazy knob: same property-assignment stream (tag 0xF00D), one
+      // derived seed per trial, bit-identical for any thread count.
+      const auto num_property = static_cast<std::uint32_t>(
+          std::lround(spec_.property_fraction * spec_.agents));
+      std::vector<std::vector<double>> per_trial(spec_.trials);
+      double truth = 0.0;
+      util::parallel_for(
+          spec_.trials,
+          [&](std::size_t trial) {
+            const std::uint64_t trial_seed =
+                spec_.trials == 1 ? spec_.seed
+                                  : rng::derive_seed(spec_.seed, trial);
+            rng::Xoshiro256pp assign_gen(
+                rng::derive_seed(trial_seed, 0xF00Du));
+            std::vector<bool> has_property(spec_.agents, false);
+            for (std::uint64_t idx : rng::sample_without_replacement(
+                     assign_gen, spec_.agents, num_property)) {
+              has_property[idx] = true;
+            }
+            const sim::PropertyResult raw = sim::run_property_walk(
+                topo_, density_config(spec_), has_property, trial_seed);
+            std::vector<double>& freq = per_trial[trial];
+            freq.reserve(spec_.agents);
+            for (std::uint32_t i = 0; i < spec_.agents; ++i) {
+              const auto c = static_cast<double>(raw.total_counts[i]);
+              const auto cp = static_cast<double>(raw.property_counts[i]);
+              freq.push_back(c == 0.0 ? 0.0 : cp / c);
+            }
+            if (trial == 0) {
+              truth = static_cast<double>(num_property) /
+                      static_cast<double>(spec_.agents - 1);
+            }
+          },
+          spec_.threads);
+      result.true_value = truth;
+      result.estimates.reserve(static_cast<std::size_t>(spec_.trials) *
+                               spec_.agents);
+      for (const auto& v : per_trial) {
+        result.estimates.insert(result.estimates.end(), v.begin(), v.end());
+      }
+      break;
+    }
+
+    case Workload::kTrajectory: {
+      // run_trajectory plus the lazy knob: same observers, same seed tag,
+      // so the unperturbed scenario matches sim::run_trajectory exactly.
+      result.checkpoints = spec_.checkpoint_rounds(spec_.rounds);
+      sim::CollisionObserver counts(spec_.agents);
+      sim::TrajectoryObserver trajectory(counts, spec_.tracked,
+                                         result.checkpoints);
+      sim::WalkConfig cfg;
+      cfg.num_agents = spec_.agents;
+      cfg.rounds = result.checkpoints.back();
+      cfg.lazy_probability = spec_.lazy_probability;
+      sim::run_walk(topo_, cfg, rng::derive_seed(spec_.seed, 0x7124u),
+                    static_cast<const std::vector<std::uint64_t>*>(nullptr),
+                    counts, trajectory);
+      result.series = trajectory.take_estimates();
+      for (const auto& trace : result.series) {
+        result.estimates.push_back(trace.back());
+      }
+      break;
+    }
+
+    case Workload::kLocalDensity: {
+      result.checkpoints = spec_.checkpoint_rounds(spec_.rounds);
+      BallDensityObserver balls(topo_, spec_.radius, result.checkpoints);
+      sim::WalkConfig cfg;
+      cfg.num_agents = spec_.agents;
+      cfg.rounds = result.checkpoints.back();
+      cfg.lazy_probability = spec_.lazy_probability;
+      sim::run_walk(topo_, cfg, rng::derive_seed(spec_.seed, 0x10Du),
+                    static_cast<const std::vector<std::uint64_t>*>(nullptr),
+                    balls);
+      const std::vector<std::vector<double>> densities =
+          balls.take_densities();
+      result.estimates = densities.back();
+      result.series.resize(spec_.tracked);
+      for (std::uint32_t a = 0; a < spec_.tracked; ++a) {
+        result.series[a].reserve(densities.size());
+        for (const auto& row : densities) {
+          result.series[a].push_back(row[a]);
+        }
+      }
+      break;
+    }
+  }
+
+  result.summary = summarize(result.estimates, result.true_value, spec_.eps);
+  result.elapsed_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace antdense::scenario

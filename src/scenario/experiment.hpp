@@ -1,0 +1,82 @@
+// The imperative half of the runtime scenario API: Experiment validates
+// a ScenarioSpec, builds its substrate through the Registry, resolves
+// the round budget (explicit rounds, or Theorem-1 planning via
+// core::plan_rounds), and runs the requested workload through the
+// existing engine drivers — run_density_walk / trial_runner for density,
+// estimate_property_frequency for property, run_trajectory for anytime
+// profiles, and the generic BallDensityObserver for local density.
+//
+// The result is one uniform ScenarioResult for all four workloads:
+// pooled per-agent estimates, summary statistics, optional checkpointed
+// series, and a stable JSON serialization (schema
+// "antdense.scenario.v1") that antdense_run emits and CI
+// schema-validates.  Determinism: a ScenarioResult is bit-identical for
+// a fixed spec, for any thread count.
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/any_topology.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+#include "util/json.hpp"
+
+namespace antdense::scenario {
+
+/// Moment summary of the pooled estimates, plus the paper's headline
+/// accuracy metric: the fraction of estimates within (1 ± eps) of truth.
+struct ScenarioSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;          // sample standard deviation
+  double standard_error = 0.0;  // of the mean
+  double min = 0.0;
+  double max = 0.0;
+  double within_eps = 0.0;
+};
+
+struct ScenarioResult {
+  ScenarioSpec spec;  // fully resolved: rounds is never 0 here
+  std::string topology_name;
+  std::uint64_t num_nodes = 0;
+  /// The workload's ground truth: density d = (agents-1)/A for density /
+  /// trajectory / local-density, the property frequency f_P for property.
+  double true_value = 0.0;
+  /// Pooled estimates: per agent per trial (density), per-agent
+  /// frequencies (property), final-checkpoint values (trajectory /
+  /// local-density).
+  std::vector<double> estimates;
+  ScenarioSummary summary;
+  /// Snapshot rounds and per-trace series for trajectory / local-density
+  /// (series[trace][i] pairs with checkpoints[i]); empty otherwise.
+  std::vector<std::uint32_t> checkpoints;
+  std::vector<std::vector<double>> series;
+  double elapsed_seconds = 0.0;
+
+  util::JsonValue to_json() const;
+};
+
+class Experiment {
+ public:
+  /// Validates the spec, builds the topology, and resolves the round
+  /// budget; throws std::invalid_argument on any inconsistency so
+  /// drivers fail before burning cycles.
+  explicit Experiment(ScenarioSpec spec);
+  Experiment(ScenarioSpec spec, const Registry& registry);
+
+  /// The resolved spec (rounds filled in when the input said 0).
+  const ScenarioSpec& spec() const { return spec_; }
+  const graph::AnyTopology& topology() const { return topo_; }
+
+  ScenarioResult run() const;
+
+ private:
+  ScenarioSpec spec_;
+  graph::AnyTopology topo_;
+};
+
+}  // namespace antdense::scenario

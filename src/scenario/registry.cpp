@@ -1,0 +1,255 @@
+#include "scenario/registry.hpp"
+
+#include <charconv>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "graph/complete.hpp"
+#include "graph/explicit_topology.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/hypercube.hpp"
+#include "graph/ring.hpp"
+#include "graph/torus2d.hpp"
+#include "graph/torus_kd.hpp"
+#include "util/check.hpp"
+
+namespace antdense::scenario {
+
+namespace {
+
+/// Strict uint parse: the whole token must be digits (no sign, no
+/// trailing garbage) so "64x64x3" or "1e4" fail loudly.
+std::uint64_t parse_u64(const std::string& token, const std::string& what) {
+  std::uint64_t value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  ANTDENSE_CHECK(!token.empty() && ec == std::errc{} && ptr == end,
+                 "topology spec: expected an unsigned integer for " + what +
+                     ", got '" + token + "'");
+  return value;
+}
+
+/// parse_u64 narrowed to the 32-bit constructor parameters; out-of-range
+/// values throw instead of silently wrapping to a different substrate.
+std::uint32_t narrow_u32(std::uint64_t value, const std::string& what) {
+  ANTDENSE_CHECK(value <= std::numeric_limits<std::uint32_t>::max(),
+                 "topology spec: " + what + " value " +
+                     std::to_string(value) + " exceeds the 32-bit range");
+  return static_cast<std::uint32_t>(value);
+}
+
+/// Splits "AxB" into two strict uints.
+std::pair<std::uint64_t, std::uint64_t> parse_pair(const std::string& params,
+                                                   const std::string& what) {
+  const auto x = params.find('x');
+  ANTDENSE_CHECK(x != std::string::npos,
+                 "topology spec: expected '" + what + "', got '" + params +
+                     "'");
+  return {parse_u64(params.substr(0, x), what),
+          parse_u64(params.substr(x + 1), what)};
+}
+
+/// Parses "k=v,k=v" with exactly the keys in `keys` (later duplicates
+/// win); `required` marks which must be present, others default to
+/// `defaults`.
+std::vector<std::uint64_t> parse_kv(const std::string& params,
+                                    const std::vector<std::string>& keys,
+                                    const std::vector<bool>& required,
+                                    const std::vector<std::uint64_t>& defaults) {
+  std::vector<std::uint64_t> values = defaults;
+  std::vector<bool> seen(keys.size(), false);
+  std::size_t start = 0;
+  while (start <= params.size()) {
+    const std::size_t comma = params.find(',', start);
+    const std::string item =
+        params.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+    const std::size_t eq = item.find('=');
+    ANTDENSE_CHECK(eq != std::string::npos,
+                   "topology spec: expected key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    bool matched = false;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] == key) {
+        values[i] = parse_u64(item.substr(eq + 1), key);
+        seen[i] = true;
+        matched = true;
+        break;
+      }
+    }
+    ANTDENSE_CHECK(matched, "topology spec: unknown parameter '" + key + "'");
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ANTDENSE_CHECK(!required[i] || seen[i],
+                   "topology spec: missing required parameter '" + keys[i] +
+                       "'");
+  }
+  return values;
+}
+
+Registry make_built_in() {
+  Registry reg;
+
+  reg.register_family(
+      "torus2d",
+      {.make =
+           [](const std::string& params) {
+             const auto [w, h] = parse_pair(params, "WIDTHxHEIGHT");
+             return graph::AnyTopology(graph::Torus2D(
+                 narrow_u32(w, "width"), narrow_u32(h, "height")));
+           },
+       .canonical =
+           [](const std::string& params) {
+             const auto [w, h] = parse_pair(params, "WIDTHxHEIGHT");
+             return "torus2d:" + std::to_string(w) + "x" + std::to_string(h);
+           }});
+
+  reg.register_family(
+      "ring", {.make =
+                   [](const std::string& params) {
+                     return graph::AnyTopology(
+                         graph::Ring(parse_u64(params, "NODES")));
+                   },
+               .canonical =
+                   [](const std::string& params) {
+                     return "ring:" +
+                            std::to_string(parse_u64(params, "NODES"));
+                   }});
+
+  reg.register_family(
+      "hypercube",
+      {.make =
+           [](const std::string& params) {
+             return graph::AnyTopology(graph::Hypercube(
+                 narrow_u32(parse_u64(params, "DIMS"), "DIMS")));
+           },
+       .canonical =
+           [](const std::string& params) {
+             return "hypercube:" + std::to_string(parse_u64(params, "DIMS"));
+           }});
+
+  reg.register_family(
+      "toruskd",
+      {.make =
+           [](const std::string& params) {
+             const auto [k, side] = parse_pair(params, "DIMSxSIDE");
+             return graph::AnyTopology(graph::TorusKD(
+                 narrow_u32(k, "DIMS"), narrow_u32(side, "SIDE")));
+           },
+       .canonical =
+           [](const std::string& params) {
+             const auto [k, side] = parse_pair(params, "DIMSxSIDE");
+             return "toruskd:" + std::to_string(k) + "x" +
+                    std::to_string(side);
+           }});
+
+  reg.register_family(
+      "complete",
+      {.make =
+           [](const std::string& params) {
+             return graph::AnyTopology(
+                 graph::CompleteGraph(parse_u64(params, "NODES")));
+           },
+       .canonical =
+           [](const std::string& params) {
+             return "complete:" + std::to_string(parse_u64(params, "NODES"));
+           }});
+
+  const std::vector<std::string> expander_keys = {"d", "n", "seed"};
+  const std::vector<bool> expander_required = {true, true, false};
+  const std::vector<std::uint64_t> expander_defaults = {0, 0, 1};
+  reg.register_family(
+      "expander",
+      {.make =
+           [=](const std::string& params) {
+             const auto v = parse_kv(params, expander_keys,
+                                     expander_required, expander_defaults);
+             // The explicit graph is owned by the handle (payload), so
+             // the spec string is the only lifetime the caller manages.
+             auto g = std::make_shared<graph::Graph>(
+                 graph::make_random_regular_graph(narrow_u32(v[1], "n"),
+                                                  narrow_u32(v[0], "d"),
+                                                  v[2]));
+             return graph::AnyTopology::with_payload(
+                 graph::ExplicitTopology(*g, "expander"), g);
+           },
+       .canonical =
+           [=](const std::string& params) {
+             const auto v = parse_kv(params, expander_keys,
+                                     expander_required, expander_defaults);
+             return "expander:d=" + std::to_string(v[0]) +
+                    ",n=" + std::to_string(v[1]) +
+                    ",seed=" + std::to_string(v[2]);
+           }});
+
+  return reg;
+}
+
+}  // namespace
+
+const Registry& Registry::built_in() {
+  static const Registry reg = make_built_in();
+  return reg;
+}
+
+void Registry::register_family(const std::string& name, Family family) {
+  ANTDENSE_CHECK(!name.empty() && name.find(':') == std::string::npos,
+                 "family name must be non-empty and colon-free");
+  ANTDENSE_CHECK(family.make != nullptr && family.canonical != nullptr,
+                 "family needs both make and canonical");
+  families_[name] = std::move(family);
+}
+
+bool Registry::has_family(const std::string& name) const {
+  return families_.count(name) > 0;
+}
+
+std::vector<std::string> Registry::family_names() const {
+  std::vector<std::string> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+const Registry::Family& Registry::family_for(const std::string& spec,
+                                             std::string* params) const {
+  const std::size_t colon = spec.find(':');
+  ANTDENSE_CHECK(colon != std::string::npos && colon > 0,
+                 "topology spec '" + spec +
+                     "' must look like family:params (e.g. torus2d:64x64)");
+  const std::string family = spec.substr(0, colon);
+  const auto it = families_.find(family);
+  if (it == families_.end()) {
+    std::string known;
+    for (const auto& [name, f] : families_) {
+      known += (known.empty() ? "" : ", ") + name;
+    }
+    throw std::invalid_argument("unknown topology family '" + family +
+                                "' (known: " + known + ")");
+  }
+  *params = spec.substr(colon + 1);
+  return it->second;
+}
+
+graph::AnyTopology Registry::make(const std::string& spec) const {
+  std::string params;
+  const Family& family = family_for(spec, &params);
+  return family.make(params);
+}
+
+std::string Registry::canonical(const std::string& spec) const {
+  std::string params;
+  const Family& family = family_for(spec, &params);
+  return family.canonical(params);
+}
+
+}  // namespace antdense::scenario

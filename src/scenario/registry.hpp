@@ -1,0 +1,64 @@
+// Runtime topology construction from spec strings.
+//
+// A topology spec is "family:params" — one string selects the substrate
+// at runtime, so every paper figure can run on every graph family
+// without recompiling:
+//
+//   torus2d:64x64                   2-D torus, width x height (Section 2)
+//   ring:10000                      1-D torus (Section 4.2)
+//   toruskd:3x22                    k-dim torus, k x side (Section 4.3)
+//   hypercube:14                    k-dim hypercube (Section 4.5)
+//   complete:4096                   complete graph (Section 1.1)
+//   expander:d=8,n=100000,seed=7    random d-regular graph (Section 4.4)
+//
+// The Registry maps family names to factories producing
+// graph::AnyTopology handles; built_in() carries the six families above
+// and register_family extends the vocabulary at runtime (new substrates
+// plug into antdense_run without touching the driver).  canonical()
+// re-emits the normalized spelling of a spec, so specs round-trip and
+// malformed input fails with a precise std::invalid_argument.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/any_topology.hpp"
+
+namespace antdense::scenario {
+
+class Registry {
+ public:
+  struct Family {
+    /// Builds the topology from the text after "family:".
+    std::function<graph::AnyTopology(const std::string& params)> make;
+    /// Parses the params and re-emits the canonical "family:..." spec.
+    std::function<std::string(const std::string& params)> canonical;
+  };
+
+  /// The registry holding the six built-in families.
+  static const Registry& built_in();
+
+  /// Registers (or replaces) a family under `name`.
+  void register_family(const std::string& name, Family family);
+
+  bool has_family(const std::string& name) const;
+  std::vector<std::string> family_names() const;
+
+  /// Parses "family:params" and builds the topology.  Throws
+  /// std::invalid_argument on an unknown family or malformed params.
+  graph::AnyTopology make(const std::string& spec) const;
+
+  /// Parses and re-serializes the spec into its canonical spelling
+  /// (idempotent; same error behavior as make).
+  std::string canonical(const std::string& spec) const;
+
+ private:
+  const Family& family_for(const std::string& spec,
+                           std::string* params) const;
+
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace antdense::scenario

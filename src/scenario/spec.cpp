@@ -1,0 +1,214 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace antdense::scenario {
+
+namespace {
+
+constexpr const char* kWorkloadNames[] = {"density", "property", "trajectory",
+                                          "local-density"};
+
+double probability(const std::string& what, double v, bool exclusive_top) {
+  ANTDENSE_CHECK(v >= 0.0 && (exclusive_top ? v < 1.0 : v <= 1.0),
+                 what + " must be a probability");
+  return v;
+}
+
+/// Checked narrowing for the 32-bit spec fields: out-of-range flag or
+/// JSON values throw instead of silently wrapping to a different
+/// experiment.
+std::uint32_t narrow_u32(std::uint64_t value, const std::string& what) {
+  ANTDENSE_CHECK(value <= std::numeric_limits<std::uint32_t>::max(),
+                 "scenario spec: " + what + " value " +
+                     std::to_string(value) + " exceeds the 32-bit range");
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
+
+std::string workload_name(Workload w) {
+  return kWorkloadNames[static_cast<int>(w)];
+}
+
+Workload parse_workload(const std::string& name) {
+  for (int i = 0; i < 4; ++i) {
+    if (name == kWorkloadNames[i]) {
+      return static_cast<Workload>(i);
+    }
+  }
+  throw std::invalid_argument(
+      "unknown workload '" + name +
+      "' (expected density, property, trajectory, or local-density)");
+}
+
+void ScenarioSpec::validate() const {
+  ANTDENSE_CHECK(agents >= 2, "scenario needs at least two agents");
+  if (rounds == 0) {
+    ANTDENSE_CHECK(eps > 0.0, "planning rounds needs eps > 0");
+    ANTDENSE_CHECK(delta > 0.0 && delta < 1.0,
+                   "planning rounds needs delta in (0,1)");
+  }
+  probability("lazy_probability", lazy_probability, true);
+  probability("detection_miss_probability", detection_miss_probability,
+              false);
+  probability("spurious_collision_probability",
+              spurious_collision_probability, false);
+  ANTDENSE_CHECK(trials >= 1, "need at least one trial");
+  // Specs round-trip through JSON, whose numbers are doubles: a seed at
+  // or above 2^53 would be silently rounded in the emitted artifact and
+  // document a different experiment than the one that ran.
+  ANTDENSE_CHECK(seed < (std::uint64_t{1} << 53),
+                 "seed must be below 2^53 so spec files round-trip exactly");
+  probability("property_fraction", property_fraction, false);
+  ANTDENSE_CHECK(tracked >= 1, "need at least one tracked agent");
+  ANTDENSE_CHECK(checkpoints >= 1, "need at least one checkpoint");
+}
+
+std::vector<std::uint32_t> ScenarioSpec::checkpoint_rounds(
+    std::uint32_t total_rounds) const {
+  ANTDENSE_CHECK(total_rounds >= 1, "need at least one round");
+  std::vector<std::uint32_t> out;
+  const std::uint32_t k = std::min(checkpoints, total_rounds);
+  out.reserve(k);
+  for (std::uint32_t i = 1; i <= k; ++i) {
+    const auto r = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(total_rounds) * i) / k);
+    if (out.empty() || r > out.back()) {
+      out.push_back(r);
+    }
+  }
+  // Integer spacing guarantees the last entry is exactly total_rounds.
+  return out;
+}
+
+std::vector<std::string> ScenarioSpec::key_names() {
+  return {"topology", "workload", "agents",   "rounds",
+          "eps",      "delta",    "lazy",     "miss",
+          "spurious", "trials",   "threads",  "seed",
+          "property-fraction",    "tracked",  "checkpoints",
+          "radius"};
+}
+
+ScenarioSpec ScenarioSpec::from_args(const util::Args& args,
+                                     ScenarioSpec base) {
+  ScenarioSpec s = std::move(base);
+  s.topology = args.get_string("topology", s.topology);
+  if (args.has("workload")) {
+    s.workload = parse_workload(args.get_string("workload", ""));
+  }
+  s.agents = narrow_u32(args.get_uint("agents", s.agents), "agents");
+  s.rounds = narrow_u32(args.get_uint("rounds", s.rounds), "rounds");
+  s.eps = args.get_double("eps", s.eps);
+  s.delta = args.get_double("delta", s.delta);
+  s.lazy_probability = args.get_double("lazy", s.lazy_probability);
+  s.detection_miss_probability =
+      args.get_double("miss", s.detection_miss_probability);
+  s.spurious_collision_probability =
+      args.get_double("spurious", s.spurious_collision_probability);
+  s.trials = narrow_u32(args.get_uint("trials", s.trials), "trials");
+  s.threads = narrow_u32(args.get_uint("threads", s.threads), "threads");
+  s.seed = args.get_uint("seed", s.seed);
+  s.property_fraction =
+      args.get_double("property-fraction", s.property_fraction);
+  s.tracked = narrow_u32(args.get_uint("tracked", s.tracked), "tracked");
+  s.checkpoints =
+      narrow_u32(args.get_uint("checkpoints", s.checkpoints), "checkpoints");
+  s.radius = narrow_u32(args.get_uint("radius", s.radius), "radius");
+  return s;
+}
+
+ScenarioSpec ScenarioSpec::from_json(const util::JsonValue& doc,
+                                     ScenarioSpec base) {
+  ScenarioSpec s = std::move(base);
+  const std::vector<std::string> known = key_names();
+  for (const auto& [key, value] : doc.entries()) {
+    ANTDENSE_CHECK(std::find(known.begin(), known.end(), key) != known.end(),
+                   "unknown scenario spec key '" + key + "'");
+    if (key == "topology") {
+      s.topology = value.as_string();
+    } else if (key == "workload") {
+      s.workload = parse_workload(value.as_string());
+    } else if (key == "agents") {
+      s.agents = narrow_u32(value.as_uint(), "agents");
+    } else if (key == "rounds") {
+      s.rounds = narrow_u32(value.as_uint(), "rounds");
+    } else if (key == "eps") {
+      s.eps = value.as_double();
+    } else if (key == "delta") {
+      s.delta = value.as_double();
+    } else if (key == "lazy") {
+      s.lazy_probability = value.as_double();
+    } else if (key == "miss") {
+      s.detection_miss_probability = value.as_double();
+    } else if (key == "spurious") {
+      s.spurious_collision_probability = value.as_double();
+    } else if (key == "trials") {
+      s.trials = narrow_u32(value.as_uint(), "trials");
+    } else if (key == "threads") {
+      s.threads = narrow_u32(value.as_uint(), "threads");
+    } else if (key == "seed") {
+      s.seed = value.as_uint();
+    } else if (key == "property-fraction") {
+      s.property_fraction = value.as_double();
+    } else if (key == "tracked") {
+      s.tracked = narrow_u32(value.as_uint(), "tracked");
+    } else if (key == "checkpoints") {
+      s.checkpoints = narrow_u32(value.as_uint(), "checkpoints");
+    } else if (key == "radius") {
+      s.radius = narrow_u32(value.as_uint(), "radius");
+    }
+  }
+  return s;
+}
+
+ScenarioSpec ScenarioSpec::from_json_file(const std::string& path,
+                                          ScenarioSpec base) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open scenario spec file: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_json(util::JsonValue::parse(text.str()), std::move(base));
+}
+
+ScenarioSpec ScenarioSpec::from_args(const util::Args& args) {
+  return from_args(args, ScenarioSpec{});
+}
+
+ScenarioSpec ScenarioSpec::from_json(const util::JsonValue& doc) {
+  return from_json(doc, ScenarioSpec{});
+}
+
+ScenarioSpec ScenarioSpec::from_json_file(const std::string& path) {
+  return from_json_file(path, ScenarioSpec{});
+}
+
+util::JsonValue ScenarioSpec::to_json() const {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("topology", topology);
+  doc.set("workload", workload_name(workload));
+  doc.set("agents", agents);
+  doc.set("rounds", rounds);
+  doc.set("eps", eps);
+  doc.set("delta", delta);
+  doc.set("lazy", lazy_probability);
+  doc.set("miss", detection_miss_probability);
+  doc.set("spurious", spurious_collision_probability);
+  doc.set("trials", trials);
+  doc.set("threads", static_cast<std::uint64_t>(threads));
+  doc.set("seed", seed);
+  doc.set("property-fraction", property_fraction);
+  doc.set("tracked", tracked);
+  doc.set("checkpoints", checkpoints);
+  doc.set("radius", radius);
+  return doc;
+}
+
+}  // namespace antdense::scenario

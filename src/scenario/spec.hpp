@@ -1,0 +1,102 @@
+// The declarative half of the runtime scenario API: one ScenarioSpec
+// describes one experiment — which substrate (a topology spec string
+// parsed by scenario::Registry), which workload, the Section 6.1
+// perturbation knobs, trials/threads/seed, and either an explicit round
+// count or (eps, delta) for Theorem-1 planning via core::plan_rounds.
+//
+// Specs are plain data: build them in code, from command-line flags
+// (from_args; pair it with Args::require_known(key_names()) so typo'd
+// flags throw, as antdense_run does), or from a JSON file
+// (from_json_file — unknown keys always throw there), and hand them to
+// scenario::Experiment to run.  The flag and JSON key vocabularies are
+// identical, so a --spec file and a flag set are interchangeable and
+// flags can overlay a file.
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace antdense::scenario {
+
+/// What to measure over the walk.  All four run through the shared
+/// WalkEngine observers (sim/walk_engine.hpp).
+enum class Workload {
+  kDensity,       // Algorithm 1: per-agent density estimates
+  kProperty,      // Section 5.2: property-frequency estimates
+  kTrajectory,    // anytime running estimates at checkpoints
+  kLocalDensity,  // ground-truth local density at checkpoints
+};
+
+std::string workload_name(Workload w);
+/// Parses "density" / "property" / "trajectory" / "local-density";
+/// throws std::invalid_argument on anything else.
+Workload parse_workload(const std::string& name);
+
+struct ScenarioSpec {
+  // --- substrate and workload ---------------------------------------
+  std::string topology = "torus2d:64x64";  // Registry spec string
+  Workload workload = Workload::kDensity;
+
+  // --- walk shape ----------------------------------------------------
+  std::uint32_t agents = 410;
+  /// Explicit round count; 0 means "plan from (eps, delta) and the
+  /// substrate via core::plan_rounds" when the Experiment resolves.
+  std::uint32_t rounds = 0;
+  double eps = 0.2;
+  double delta = 0.1;
+
+  // --- Section 6.1 perturbations (all off by default) ---------------
+  double lazy_probability = 0.0;
+  double detection_miss_probability = 0.0;
+  double spurious_collision_probability = 0.0;
+
+  // --- execution -----------------------------------------------------
+  /// Monte Carlo repeats, pooled.  Density / property only; trajectory
+  /// and local-density record one walk (Experiment rejects trials > 1).
+  std::uint32_t trials = 1;
+  unsigned threads = 0;      // 0 = one per core
+  std::uint64_t seed = 42;
+
+  // --- workload-specific knobs --------------------------------------
+  double property_fraction = 0.25;  // property: fraction of P-agents
+  std::uint32_t tracked = 4;        // trajectory/local-density traces
+  std::uint32_t checkpoints = 8;    // snapshot count
+  std::uint32_t radius = 2;         // local-density L1/graph ball radius
+
+  /// Range checks everything except the topology string (the Registry
+  /// owns that) — throws std::invalid_argument.
+  void validate() const;
+
+  /// The checkpoint rounds this spec asks for: `checkpoints` values,
+  /// evenly spaced, strictly increasing, ending at `total_rounds`.
+  std::vector<std::uint32_t> checkpoint_rounds(
+      std::uint32_t total_rounds) const;
+
+  /// Every flag / JSON key the spec vocabulary defines, for strict
+  /// argument checking (util::Args::require_known).
+  static std::vector<std::string> key_names();
+
+  /// Overlays recognized flags onto `base` (strictness is the caller's
+  /// job so drivers can accept extra flags like --out).
+  static ScenarioSpec from_args(const util::Args& args, ScenarioSpec base);
+  static ScenarioSpec from_args(const util::Args& args);
+
+  /// Builds a spec from a flat JSON object / file using the same keys as
+  /// from_args.  Unknown keys throw, matching strict flag handling.
+  static ScenarioSpec from_json(const util::JsonValue& doc,
+                                ScenarioSpec base);
+  static ScenarioSpec from_json(const util::JsonValue& doc);
+  static ScenarioSpec from_json_file(const std::string& path,
+                                     ScenarioSpec base);
+  static ScenarioSpec from_json_file(const std::string& path);
+
+  util::JsonValue to_json() const;
+};
+
+}  // namespace antdense::scenario

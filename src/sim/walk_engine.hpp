@@ -215,8 +215,9 @@ void run_walk(const T& topo, const WalkConfig& cfg, std::uint64_t stream_seed,
       graph::random_neighbors(topo, std::span<const node>(pos),
                               std::span<node>(pos), gen);
     }
+    graph::node_keys(topo, std::span<const node>(pos),
+                     std::span<std::uint64_t>(keys));
     for (std::uint32_t i = 0; i < n_agents; ++i) {
-      keys[i] = topo.key(pos[i]);
       counter.add(keys[i]);
     }
     const RoundView view{r, n_agents, std::span<const std::uint64_t>(keys),

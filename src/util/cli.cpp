@@ -40,6 +40,64 @@ Args::Args(int argc, const char* const* argv) {
 
 bool Args::has(const std::string& key) const { return flags_.count(key) > 0; }
 
+std::vector<std::string> Args::unknown(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : flags_) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (k == key) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      out.push_back(key);  // flags_ is a sorted map, so out is sorted
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Args::unknown(
+    std::initializer_list<const char*> known) const {
+  return unknown(std::vector<std::string>(known.begin(), known.end()));
+}
+
+void Args::require_known(const std::vector<std::string>& known) const {
+  if (!positional_.empty()) {
+    // A flag missing its leading dashes lands here; reject it rather
+    // than silently falling back to defaults.
+    std::string message = "unexpected argument";
+    if (positional_.size() > 1) {
+      message += 's';
+    }
+    for (const std::string& p : positional_) {
+      message += " '" + p + "'";
+    }
+    throw std::invalid_argument(message + " (flags are --key=value)");
+  }
+  const std::vector<std::string> bad = unknown(known);
+  if (bad.empty()) {
+    return;
+  }
+  std::string message = "unknown flag";
+  if (bad.size() > 1) {
+    message += 's';
+  }
+  for (const std::string& key : bad) {
+    message += " --" + key;
+  }
+  message += "; known flags:";
+  for (const std::string& key : known) {
+    message += " --" + key;
+  }
+  throw std::invalid_argument(message);
+}
+
+void Args::require_known(std::initializer_list<const char*> known) const {
+  require_known(std::vector<std::string>(known.begin(), known.end()));
+}
+
 std::string Args::get_string(const std::string& key,
                              const std::string& fallback) const {
   const auto it = flags_.find(key);

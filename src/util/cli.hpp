@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
@@ -32,6 +33,21 @@ class Args {
 
   /// All parsed flags, for echoing experiment configuration.
   const std::map<std::string, std::string>& flags() const { return flags_; }
+
+  /// Strict mode: the flags that were passed but are not in `known`,
+  /// sorted — so drivers can reject typo'd flags instead of silently
+  /// using fallbacks.
+  std::vector<std::string> unknown(
+      const std::vector<std::string>& known) const;
+  std::vector<std::string> unknown(
+      std::initializer_list<const char*> known) const;
+
+  /// Throws std::invalid_argument naming every unknown flag (and listing
+  /// the known ones) when any flag outside `known` was passed, or when a
+  /// positional token was passed (strict drivers take flags only, so a
+  /// flag missing its leading dashes must not be silently dropped).
+  void require_known(const std::vector<std::string>& known) const;
+  void require_known(std::initializer_list<const char*> known) const;
 
  private:
   std::map<std::string, std::string> flags_;

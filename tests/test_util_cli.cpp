@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace antdense::util {
 namespace {
 
@@ -63,6 +65,50 @@ TEST(Args, UintParsing) {
 TEST(Args, LaterFlagWins) {
   const Args args = parse({"--k=1", "--k=2"});
   EXPECT_EQ(args.get_int("k", 0), 2);
+}
+
+TEST(Args, UnknownListsUnrecognizedFlagsSorted) {
+  const Args args = parse({"--zeta=1", "--alpha=2", "--known=3"});
+  EXPECT_EQ(args.unknown({"known"}),
+            (std::vector<std::string>{"alpha", "zeta"}));
+  EXPECT_TRUE(args.unknown({"known", "alpha", "zeta"}).empty());
+  EXPECT_TRUE(parse({}).unknown({"anything"}).empty());
+}
+
+TEST(Args, RequireKnownAcceptsExactVocabulary) {
+  const Args args = parse({"--steps=10", "--seed=1"});
+  EXPECT_NO_THROW(args.require_known({"steps", "seed", "unused"}));
+}
+
+TEST(Args, RequireKnownRejectsTypos) {
+  const Args args = parse({"--stpes=10", "--seed=1"});
+  try {
+    args.require_known({"steps", "seed"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    // The message names the offender and the accepted vocabulary.
+    EXPECT_NE(what.find("--stpes"), std::string::npos) << what;
+    EXPECT_NE(what.find("--steps"), std::string::npos) << what;
+  }
+}
+
+TEST(Args, RequireKnownRejectsEverythingWhenVocabularyIsEmpty) {
+  EXPECT_THROW(parse({"--x=1"}).require_known(std::vector<std::string>{}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(parse({}).require_known(std::vector<std::string>{}));
+}
+
+TEST(Args, RequireKnownRejectsPositionalTokens) {
+  // "agents=10" (missing dashes) must not silently fall back to defaults.
+  const Args args = parse({"--seed=1", "agents=10"});
+  try {
+    args.require_known({"seed", "agents"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("agents=10"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

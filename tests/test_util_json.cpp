@@ -1,0 +1,104 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace antdense::util {
+namespace {
+
+TEST(JsonValue, DumpsScalars) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(std::uint64_t{42}).dump(), "42");
+  EXPECT_EQ(JsonValue(-7.0).dump(), "-7");
+  EXPECT_EQ(JsonValue(0.5).dump(), "0.5");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonValue, EscapesStrings) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonValue(std::string("\x01")).dump(), "\"\\u0001\"");
+}
+
+TEST(JsonValue, ObjectsKeepInsertionOrderAndOverwrite) {
+  JsonValue doc = JsonValue::object();
+  doc.set("b", 1.0);
+  doc.set("a", 2.0);
+  doc.set("b", 3.0);  // overwrite in place, order preserved
+  EXPECT_EQ(doc.dump(0), "{\"b\":3,\"a\":2}");
+  ASSERT_NE(doc.find("b"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.find("b")->as_double(), 3.0);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonValue, PrettyPrintsNestedStructures) {
+  JsonValue doc = JsonValue::object();
+  doc.set("xs", JsonValue::array().push_back(1.0).push_back(2.0));
+  EXPECT_EQ(doc.dump(2), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonValue, RejectsNonFiniteNumbers) {
+  EXPECT_THROW(JsonValue(1.0 / 0.0).dump(), std::invalid_argument);
+}
+
+TEST(JsonValue, ParsesRoundTrip) {
+  const std::string text =
+      R"js({"name": "torus2d(8x8)", "agents": 100, "ratio": -0.25,)js"
+      R"js( "ok": true, "none": null, "xs": [1, 2.5, "three"]})js";
+  const JsonValue doc = JsonValue::parse(text);
+  EXPECT_EQ(doc.find("name")->as_string(), "torus2d(8x8)");
+  EXPECT_EQ(doc.find("agents")->as_uint(), 100u);
+  EXPECT_DOUBLE_EQ(doc.find("ratio")->as_double(), -0.25);
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+  EXPECT_TRUE(doc.find("none")->is_null());
+  ASSERT_EQ(doc.find("xs")->items().size(), 3u);
+  EXPECT_EQ(doc.find("xs")->items()[2].as_string(), "three");
+  // dump -> parse -> dump is a fixed point.
+  EXPECT_EQ(JsonValue::parse(doc.dump()).dump(), doc.dump());
+}
+
+TEST(JsonValue, ParsesEscapes) {
+  const JsonValue doc = JsonValue::parse(R"(["a\"b", "\u0041", "\n"])");
+  EXPECT_EQ(doc.items()[0].as_string(), "a\"b");
+  EXPECT_EQ(doc.items()[1].as_string(), "A");
+  EXPECT_EQ(doc.items()[2].as_string(), "\n");
+}
+
+TEST(JsonValue, ParseRejectsMalformedInput) {
+  const char* bad[] = {
+      "",            // empty
+      "{",           // unterminated object
+      "[1, 2",       // unterminated array
+      "\"abc",       // unterminated string
+      "{\"a\" 1}",   // missing colon
+      "[1 2]",       // missing comma
+      "tru",         // bad literal
+      "01a",         // trailing garbage in number context
+      "[1] []",      // trailing document
+      "{\"a\": 1,}", // trailing comma (strict)
+      "nan",         // not JSON
+      "01",          // leading zero (RFC 8259 number grammar)
+      "-.5",         // missing integer part
+      "1.",          // missing fraction digits
+      "1e",          // missing exponent digits
+      "+5",          // explicit plus sign
+  };
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    EXPECT_THROW(JsonValue::parse(text), std::invalid_argument);
+  }
+}
+
+TEST(JsonValue, TypedAccessorsRejectMismatches) {
+  EXPECT_THROW(JsonValue("x").as_double(), std::invalid_argument);
+  EXPECT_THROW(JsonValue(1.5).as_uint(), std::invalid_argument);
+  EXPECT_THROW(JsonValue(-1.0).as_uint(), std::invalid_argument);
+  EXPECT_THROW(JsonValue(1.0).as_string(), std::invalid_argument);
+  EXPECT_THROW(JsonValue().items(), std::invalid_argument);
+  EXPECT_THROW(JsonValue("x").entries(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace antdense::util
