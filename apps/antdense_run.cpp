@@ -9,7 +9,11 @@
 //   --spec=FILE   load a JSON ScenarioSpec first; flags overlay it
 //   --out=PATH    write the ScenarioResult JSON artifact
 //   --quiet       suppress the human-readable report
-//   --list-topologies, --help
+//   --list-topologies   registered families + canonical spec grammar
+//   --list-workloads    workload names + what each measures
+//   --help
+// The list flags exist for sweep authors: campaign axes (antdense_sweep)
+// take exactly these topology spec strings and workload names.
 // Unknown flags are an error (util::Args strict mode), so typos fail
 // loudly instead of silently running the default scenario.
 #include <exception>
@@ -49,7 +53,8 @@ void print_usage(std::ostream& os) {
      << "  --spec=FILE.json  load a spec file (flags overlay it)\n"
      << "  --out=PATH.json   write the result artifact\n"
      << "  --quiet           suppress the human-readable report\n"
-     << "  --list-topologies / --help\n";
+     << "  --list-topologies (families + spec grammar)\n"
+     << "  --list-workloads / --help\n";
 }
 
 void print_report(const scenario::ScenarioResult& result) {
@@ -94,16 +99,30 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (args.get_bool("list-topologies", false)) {
-      for (const std::string& name :
-           scenario::Registry::built_in().family_names()) {
-        std::cout << name << "\n";
+      const scenario::Registry& reg = scenario::Registry::built_in();
+      for (const std::string& name : reg.family_names()) {
+        const std::string& grammar = reg.grammar(name);
+        std::cout << name;
+        if (!grammar.empty()) {
+          std::cout << "\t" << grammar;
+        }
+        std::cout << "\n";
+      }
+      return 0;
+    }
+    if (args.get_bool("list-workloads", false)) {
+      const std::vector<std::string>& names = scenario::workload_names();
+      const std::vector<std::string>& what =
+          scenario::workload_descriptions();
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        std::cout << names[i] << "\t" << what[i] << "\n";
       }
       return 0;
     }
 
     std::vector<std::string> known = scenario::ScenarioSpec::key_names();
-    known.insert(known.end(),
-                 {"spec", "out", "quiet", "help", "list-topologies"});
+    known.insert(known.end(), {"spec", "out", "quiet", "help",
+                               "list-topologies", "list-workloads"});
     args.require_known(known);
 
     scenario::ScenarioSpec spec;

@@ -1,0 +1,173 @@
+// E-CAMPAIGN — campaign scheduler throughput across worker counts.
+//
+// Runs one fixed campaign (a topology x agents x rounds grid of small
+// density experiments, expanded in-process, journaled to a scratch
+// file) at threads = 1, 4, and hardware_concurrency, and reports
+// experiments/sec plus the usual ns/agent-round normalization.  The
+// scheduler's contract — journals bit-identical across worker counts —
+// is asserted here too, so the bench doubles as a smoke check on real
+// (non-tiny) campaign sizes.
+//
+// Flags:
+//   --out=PATH        JSON output path (default BENCH_campaign.json)
+//   --tiny            CI smoke mode: small grid, seconds total
+//   --experiments=N   approximate campaign size (default 96; 24 tiny)
+//
+// JSON schema: bench_json records, name "scheduler/t<N>", topology
+// "campaign-grid", with agents/rounds the per-experiment values and
+// ns_per_agent_round = elapsed_ns / (experiments * agents * rounds).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "campaign/journal.hpp"
+#include "campaign/scheduler.hpp"
+#include "campaign/spec.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace antdense;
+
+/// A topologies x agent-counts x round-budgets grid of density
+/// experiments: 2 topologies x `agent_steps` agent counts x 2 budgets.
+campaign::CampaignSpec make_campaign(std::uint64_t agent_steps,
+                                     std::uint32_t agents,
+                                     std::uint32_t rounds) {
+  std::ostringstream agents_list;
+  for (std::uint64_t i = 0; i < agent_steps; ++i) {
+    agents_list << (i == 0 ? "" : ", ") << agents + i;
+  }
+  const std::string text = R"({
+    "name": "bench",
+    "seed": 9,
+    "base": {"trials": 1},
+    "axes": [
+      {"kind": "grid", "key": "topology",
+       "values": ["torus2d:32x32", "ring:1024"]},
+      {"kind": "grid", "key": "agents", "values": [)" +
+                           agents_list.str() + R"(]},
+      {"kind": "grid", "key": "rounds", "values": [)" +
+                           std::to_string(rounds) + ", " +
+                           std::to_string(2 * rounds) + R"(]}
+    ]})";
+  return campaign::CampaignSpec::from_json(util::JsonValue::parse(text));
+}
+
+std::vector<std::string> sorted_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  args.require_known({"out", "tiny", "experiments", "help"});
+  const bool tiny = args.get_bool("tiny", false);
+  const std::uint64_t experiments =
+      args.get_uint("experiments", tiny ? 24 : 96);
+  const std::uint32_t agents = tiny ? 16 : 64;
+  const std::uint32_t rounds = tiny ? 16 : 128;
+
+  // 2 topologies x 2 round budgets bracket the agent axis.
+  const std::uint64_t agent_steps =
+      std::max<std::uint64_t>(1, experiments / 4);
+  const campaign::CampaignSpec camp =
+      make_campaign(agent_steps, agents, rounds);
+  const std::size_t total = camp.expand().size();
+
+  std::vector<unsigned> thread_counts = {1, 4,
+                                         util::default_thread_count()};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  std::cout << "# E-CAMPAIGN — scheduler throughput, " << total
+            << " experiments per run\n\n";
+  util::Table table(
+      {"threads", "experiments", "elapsed_s", "exp_per_sec", "speedup"});
+  std::vector<bench::BenchRecord> records;
+  std::vector<std::string> reference_journal;
+  double serial_rate = 0.0;
+
+  for (unsigned threads : thread_counts) {
+    const std::string journal_path =
+        "bench_campaign_t" + std::to_string(threads) + ".jsonl.tmp";
+    std::remove(journal_path.c_str());
+
+    campaign::RunOptions options;
+    options.threads = threads;
+    util::WallTimer timer;
+    const campaign::RunReport report =
+        campaign::run_campaign(camp, journal_path, options);
+    const double elapsed = timer.elapsed_seconds();
+    if (report.executed != total) {
+      std::cerr << "executed " << report.executed << " of " << total
+                << " experiments\n";
+      return 1;
+    }
+    const std::vector<std::string> journal = sorted_lines(journal_path);
+    if (reference_journal.empty()) {
+      reference_journal = journal;
+    } else if (journal != reference_journal) {
+      std::cerr << "journal at threads=" << threads
+                << " differs from threads=" << thread_counts.front()
+                << " — determinism contract broken\n";
+      return 1;
+    }
+    std::remove(journal_path.c_str());
+
+    const double rate = static_cast<double>(total) / elapsed;
+    if (threads == 1) {
+      serial_rate = rate;
+    }
+    // Mean agents over the grid [agents, agents + agent_steps), mean
+    // rounds over {rounds, 2*rounds}: the normalization denominator.
+    const double mean_agents =
+        agents + (static_cast<double>(agent_steps) - 1.0) / 2.0;
+    const double mean_rounds = 1.5 * rounds;
+    bench::BenchRecord record;
+    record.name = "scheduler/t" + std::to_string(threads);
+    record.topology = "campaign-grid";
+    record.agents = agents;
+    record.rounds = rounds;
+    record.ns_per_agent_round =
+        elapsed * 1e9 /
+        (static_cast<double>(total) * mean_agents * mean_rounds);
+    records.push_back(record);
+
+    table.add_row({std::to_string(threads), std::to_string(total),
+                   util::format_fixed(elapsed, 3),
+                   util::format_fixed(rate, 1),
+                   serial_rate > 0.0
+                       ? util::format_fixed(rate / serial_rate, 2) + "x"
+                       : "n/a"});
+  }
+  table.print_markdown(std::cout);
+  std::cout << "\njournals bit-identical across worker counts: yes\n";
+
+  const std::string out_path =
+      args.get_string("out", "BENCH_campaign.json");
+  bench::write_json(out_path, records);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// The campaign aggregation pipeline: group-by reducers over journal
+// records, producing a CSV table (one row per group) and a JSON summary
+// (schema "antdense.campaign.aggregate.v1").
+//
+// Group keys name record fields: the shortcuts `family` (the topology
+// spec's family prefix), `topology`, `workload`, `agents`, `trials`,
+// `eps`, `delta`, `lazy`, `miss`, `spurious`, and `rounds` (the
+// *resolved* budget that actually ran, so rounds-planned-from-(eps,
+// delta) sweeps still group correctly) — or any dotted path into the
+// record, e.g. `spec.rounds` or `result.num_nodes`.
+//
+// Per group the pipeline reduces the records' accuracy metrics:
+// experiment count, mean/max relative error, and mean/min within-eps
+// fraction.  When a group's (eps, delta) are uniform it also reports
+// the Theorem-1 envelope check — Algorithm 1 promises a (1 ± eps)
+// estimate with probability >= 1 - delta once the round budget is
+// sufficient, so `envelope_met` is whether the observed mean within-eps
+// fraction clears 1 - delta.  Grouping by family and rounds therefore
+// yields the paper's observed-error-vs-round-count curves per topology
+// family, envelope verdict attached.
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace antdense::campaign {
+
+inline constexpr const char* kAggregateSchema =
+    "antdense.campaign.aggregate.v1";
+
+struct AggregateGroup {
+  /// Group-key values, aligned with Aggregate::group_by.
+  std::vector<std::string> key;
+  std::size_t experiments = 0;
+  double mean_rel_error = 0.0;
+  double max_rel_error = 0.0;
+  double mean_within_eps = 0.0;
+  double min_within_eps = 0.0;
+  /// Theorem-1 envelope, when (eps, delta) are uniform across the group.
+  bool has_envelope = false;
+  double eps = 0.0;
+  double delta = 0.0;
+  bool envelope_met = false;
+};
+
+struct Aggregate {
+  std::vector<std::string> group_by;
+  std::size_t records = 0;
+  std::vector<AggregateGroup> groups;  // sorted by key
+
+  /// One header row plus one row per group; fields quoted per RFC 4180
+  /// when they contain commas, quotes, or newlines.  Envelope columns
+  /// are empty for groups with mixed (eps, delta).
+  std::string to_csv() const;
+  util::JsonValue to_json() const;
+};
+
+/// Groups `records` (journal lines, see campaign/journal.hpp) by the
+/// given keys and reduces each group.  Throws std::invalid_argument on
+/// an unknown key or a record missing one.
+Aggregate aggregate(const std::vector<util::JsonValue>& records,
+                    const std::vector<std::string>& group_by);
+
+}  // namespace antdense::campaign

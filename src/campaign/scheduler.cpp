@@ -1,0 +1,99 @@
+#include "campaign/scheduler.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "campaign/journal.hpp"
+#include "scenario/experiment.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace antdense::campaign {
+
+RunReport run_campaign(const CampaignSpec& campaign,
+                       const std::string& journal_path,
+                       const RunOptions& options,
+                       const scenario::Registry& registry) {
+  util::WallTimer timer;
+  RunReport report;
+
+  std::vector<PlannedExperiment> planned = campaign.expand(registry);
+  report.planned = planned.size();
+
+  const std::vector<util::JsonValue> existing = Journal::load(journal_path);
+  for (const util::JsonValue& record : existing) {
+    const util::JsonValue* name = record.find("campaign");
+    ANTDENSE_CHECK(name != nullptr && name->is_string() &&
+                       name->as_string() == campaign.name,
+                   "journal " + journal_path + " belongs to campaign '" +
+                       (name != nullptr && name->is_string()
+                            ? name->as_string()
+                            : std::string("?")) +
+                       "', not '" + campaign.name + "'");
+  }
+  const std::set<std::string> done = Journal::completed_ids(existing);
+
+  std::vector<PlannedExperiment> pending;
+  pending.reserve(planned.size());
+  for (PlannedExperiment& p : planned) {
+    if (done.count(p.id) > 0) {
+      ++report.cached;
+    } else {
+      pending.push_back(std::move(p));
+    }
+  }
+  if (options.max_experiments > 0 &&
+      pending.size() > options.max_experiments) {
+    report.remaining = pending.size() - options.max_experiments;
+    pending.resize(options.max_experiments);
+  }
+  if (pending.empty()) {
+    report.elapsed_seconds = timer.elapsed_seconds();
+    return report;
+  }
+
+  Journal journal(journal_path);
+  const unsigned threads =
+      options.threads != 0 ? options.threads : campaign.threads;
+  std::atomic<std::size_t> completed{0};
+  std::mutex progress_mutex;
+
+  util::parallel_for_stoppable(
+      pending.size(),
+      [&](std::size_t i, std::stop_token) {
+        const PlannedExperiment& p = pending[i];
+        // The scheduler owns the parallelism: each experiment runs its
+        // trials serially so N workers saturate N cores without
+        // oversubscription (and the result is the same either way —
+        // trial fan-out is thread-count-invariant by construction).
+        scenario::ScenarioSpec spec = p.spec;
+        spec.threads = 1;
+        const scenario::ScenarioResult result =
+            scenario::Experiment(std::move(spec), registry).run();
+        journal.append(make_record(p, result, campaign.name));
+        const std::size_t done_now =
+            completed.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (options.on_complete) {
+          std::lock_guard<std::mutex> lock(progress_mutex);
+          options.on_complete(p, done_now, pending.size());
+        }
+      },
+      threads);
+
+  report.executed = completed.load();
+  report.elapsed_seconds = timer.elapsed_seconds();
+  return report;
+}
+
+RunReport run_campaign(const CampaignSpec& campaign,
+                       const std::string& journal_path,
+                       const RunOptions& options) {
+  return run_campaign(campaign, journal_path, options,
+                      scenario::Registry::built_in());
+}
+
+}  // namespace antdense::campaign

@@ -1,0 +1,62 @@
+// The campaign scheduler: expands a CampaignSpec, subtracts the
+// experiments its journal already holds, and runs the remainder on a
+// std::jthread work queue (util::parallel_for_stoppable), journaling
+// each experiment the moment it completes.
+//
+// Determinism contract: every experiment runs single-threaded inside a
+// worker with a seed derived from (campaign seed, spec identity hash) at
+// expansion time — so its result depends only on its spec, never on
+// which worker ran it, in what order, or how many workers exist.  The
+// journal is therefore bit-identical (modulo record order) across
+// thread counts and across any interrupt/resume split, which is what
+// makes "re-run the same command" the entire resume story.
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "campaign/spec.hpp"
+#include "scenario/registry.hpp"
+
+namespace antdense::campaign {
+
+struct RunOptions {
+  /// Scheduler workers; 0 falls back to the campaign's `threads`, and 0
+  /// there means one per core.
+  unsigned threads = 0;
+  /// Cap on experiments *executed* this invocation (0 = no cap).  The
+  /// journal keeps what ran, so a capped run is exactly an interrupted
+  /// one — the CI smoke job resumes from it deterministically.
+  std::size_t max_experiments = 0;
+  /// Called after each experiment's record is journaled, with how many
+  /// of this invocation's experiments are done.  Serialized; may print.
+  std::function<void(const PlannedExperiment&, std::size_t done,
+                     std::size_t scheduled)>
+      on_complete;
+};
+
+struct RunReport {
+  std::size_t planned = 0;    // expanded campaign size
+  std::size_t cached = 0;     // skipped: already journaled
+  std::size_t executed = 0;   // run and journaled this invocation
+  std::size_t remaining = 0;  // left undone by max_experiments
+  double elapsed_seconds = 0.0;
+};
+
+/// Runs `campaign` against the journal at `journal_path` (created when
+/// absent, resumed when present).  Throws std::invalid_argument when the
+/// journal belongs to a different campaign name, and rethrows the first
+/// experiment failure after in-flight experiments finish (their records
+/// are already journaled, so a later invocation resumes past them).
+RunReport run_campaign(const CampaignSpec& campaign,
+                       const std::string& journal_path,
+                       const RunOptions& options,
+                       const scenario::Registry& registry);
+RunReport run_campaign(const CampaignSpec& campaign,
+                       const std::string& journal_path,
+                       const RunOptions& options = {});
+
+}  // namespace antdense::campaign

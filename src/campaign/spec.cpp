@@ -1,0 +1,218 @@
+#include "campaign/spec.hpp"
+
+#include <fstream>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "rng/splitmix64.hpp"
+#include "scenario/registry.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace antdense::campaign {
+
+namespace {
+
+/// Expansion hard cap: a typo'd axis ("values": a 10^4-entry list,
+/// squared) should fail fast, not allocate a million specs.
+constexpr std::size_t kMaxExperiments = 1'000'000;
+
+const util::JsonValue& require(const util::JsonValue& doc,
+                               const std::string& key,
+                               const std::string& where) {
+  const util::JsonValue* v = doc.find(key);
+  ANTDENSE_CHECK(v != nullptr,
+                 "campaign: " + where + " requires a '" + key + "' key");
+  return *v;
+}
+
+/// Seeds must survive the spec's own validate() (< 2^53 so spec files
+/// round-trip through JSON doubles exactly).
+constexpr std::uint64_t kSeedMask = (std::uint64_t{1} << 53) - 1;
+
+}  // namespace
+
+Axis Axis::from_json(const util::JsonValue& doc) {
+  const std::string kind_name =
+      require(doc, "kind", "an axis").as_string();
+  Axis axis;
+  std::set<std::string> known = {"kind"};
+
+  if (kind_name == "grid") {
+    axis.kind = Kind::kGrid;
+    known.insert({"key", "values"});
+    const std::string key = require(doc, "key", "a grid axis").as_string();
+    ANTDENSE_CHECK(key != "threads",
+                   "campaign: 'threads' is an execution knob, not an "
+                   "experiment axis (set the campaign's top-level "
+                   "\"threads\" instead)");
+    axis.keys.push_back(key);
+    for (const util::JsonValue& v :
+         require(doc, "values", "a grid axis").items()) {
+      util::JsonValue point = util::JsonValue::object();
+      point.set(key, v);
+      axis.points.push_back(std::move(point));
+    }
+  } else if (kind_name == "zip") {
+    axis.kind = Kind::kZip;
+    known.insert({"keys", "values"});
+    for (const util::JsonValue& k :
+         require(doc, "keys", "a zip axis").items()) {
+      ANTDENSE_CHECK(k.as_string() != "threads",
+                     "campaign: 'threads' is an execution knob, not an "
+                     "experiment axis (set the campaign's top-level "
+                     "\"threads\" instead)");
+      axis.keys.push_back(k.as_string());
+    }
+    ANTDENSE_CHECK(!axis.keys.empty(), "campaign: zip axis needs keys");
+    for (const util::JsonValue& tuple :
+         require(doc, "values", "a zip axis").items()) {
+      ANTDENSE_CHECK(tuple.is_array() &&
+                         tuple.items().size() == axis.keys.size(),
+                     "campaign: each zip value must be a tuple with one "
+                     "entry per key");
+      util::JsonValue point = util::JsonValue::object();
+      for (std::size_t i = 0; i < axis.keys.size(); ++i) {
+        point.set(axis.keys[i], tuple.items()[i]);
+      }
+      axis.points.push_back(std::move(point));
+    }
+  } else if (kind_name == "list") {
+    axis.kind = Kind::kList;
+    known.insert("specs");
+    std::set<std::string> keys_seen;
+    for (const util::JsonValue& overlay :
+         require(doc, "specs", "a list axis").items()) {
+      ANTDENSE_CHECK(overlay.is_object(),
+                     "campaign: each list-axis spec must be an object of "
+                     "ScenarioSpec keys");
+      for (const auto& [k, v] : overlay.entries()) {
+        ANTDENSE_CHECK(k != "threads",
+                       "campaign: 'threads' is an execution knob, not an "
+                       "experiment axis (set the campaign's top-level "
+                       "\"threads\" instead)");
+        keys_seen.insert(k);
+      }
+      axis.points.push_back(overlay);
+    }
+    axis.keys.assign(keys_seen.begin(), keys_seen.end());
+  } else {
+    throw std::invalid_argument("campaign: unknown axis kind '" +
+                                kind_name +
+                                "' (expected grid, zip, or list)");
+  }
+
+  for (const auto& [key, value] : doc.entries()) {
+    ANTDENSE_CHECK(known.count(key) > 0,
+                   "campaign: unknown " + kind_name + "-axis key '" + key +
+                       "'");
+  }
+  ANTDENSE_CHECK(!axis.points.empty(),
+                 "campaign: an axis must contribute at least one point");
+  return axis;
+}
+
+CampaignSpec CampaignSpec::from_json(const util::JsonValue& doc) {
+  CampaignSpec campaign;
+  for (const auto& [key, value] : doc.entries()) {
+    if (key == "name") {
+      campaign.name = value.as_string();
+      ANTDENSE_CHECK(!campaign.name.empty(),
+                     "campaign: name must be non-empty");
+    } else if (key == "seed") {
+      campaign.seed = value.as_uint();
+    } else if (key == "threads") {
+      const std::uint64_t threads = value.as_uint();
+      ANTDENSE_CHECK(
+          threads <= std::numeric_limits<std::uint32_t>::max(),
+          "campaign: threads value " + std::to_string(threads) +
+              " exceeds the 32-bit range");
+      campaign.threads = static_cast<unsigned>(threads);
+    } else if (key == "base") {
+      campaign.base = scenario::ScenarioSpec::from_json(value);
+    } else if (key == "axes") {
+      for (const util::JsonValue& axis_doc : value.items()) {
+        campaign.axes.push_back(Axis::from_json(axis_doc));
+      }
+    } else {
+      throw std::invalid_argument("campaign: unknown key '" + key +
+                                  "' (expected name, seed, threads, base, "
+                                  "axes)");
+    }
+  }
+  return campaign;
+}
+
+CampaignSpec CampaignSpec::from_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open campaign file: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_json(util::JsonValue::parse(text.str()));
+}
+
+std::vector<PlannedExperiment> CampaignSpec::expand(
+    const scenario::Registry& registry) const {
+  std::size_t total = 1;
+  for (const Axis& axis : axes) {
+    // Axis::from_json already enforces this; re-check for axes built in
+    // code, where an empty one would zero `total` (and crash the cap
+    // division) instead of failing loudly.
+    ANTDENSE_CHECK(!axis.points.empty(),
+                   "campaign: an axis must contribute at least one point");
+    ANTDENSE_CHECK(axis.points.size() <= kMaxExperiments / total,
+                   "campaign: expansion exceeds " +
+                       std::to_string(kMaxExperiments) + " experiments");
+    total *= axis.points.size();
+  }
+
+  std::vector<PlannedExperiment> out;
+  out.reserve(total);
+  std::set<std::string> seen_ids;
+  // Mixed-radix counter over the axes; digit 0 (the first axis) varies
+  // slowest, so expansion order matches the nesting of the axes array.
+  std::vector<std::size_t> digit(axes.size(), 0);
+  for (std::size_t index = 0; index < total; ++index) {
+    scenario::ScenarioSpec spec = base;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      spec = scenario::ScenarioSpec::from_json(axes[a].points[digit[a]],
+                                               std::move(spec));
+    }
+    spec.validate();
+
+    PlannedExperiment planned;
+    planned.declared = spec.identity_json(registry);
+    // Same bytes ScenarioSpec::identity_hash hashes: id and seed must
+    // stay derived from one canonical serialization.
+    const std::uint64_t hash = util::fnv1a64(planned.declared.dump(0));
+    planned.id = util::hex64(hash);
+    ANTDENSE_CHECK(seen_ids.insert(planned.id).second,
+                   "campaign: axes produce duplicate experiment "
+                   "identities (id " +
+                       planned.id +
+                       "); distinguish the points, e.g. sweep 'seed'");
+    planned.seed = rng::derive_seed(seed, hash) & kSeedMask;
+    spec.topology = planned.declared.find("topology")->as_string();
+    spec.seed = planned.seed;
+    planned.spec = std::move(spec);
+    out.push_back(std::move(planned));
+
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      if (++digit[a] < axes[a].points.size()) {
+        break;
+      }
+      digit[a] = 0;
+    }
+  }
+  return out;
+}
+
+std::vector<PlannedExperiment> CampaignSpec::expand() const {
+  return expand(scenario::Registry::built_in());
+}
+
+}  // namespace antdense::campaign

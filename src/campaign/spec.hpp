@@ -1,0 +1,104 @@
+// The declarative half of the campaign engine: one CampaignSpec
+// describes a *family* of experiments — a base ScenarioSpec plus sweep
+// axes over any spec field — and expands into concrete, individually
+// seeded experiments.  The paper's claims (Theorem 1 accuracy
+// envelopes, the Section 6.1 robustness knobs) are statements over
+// configuration families; a campaign is how the repo explores one in a
+// single invocation.
+//
+// Campaign JSON (see README for a copy-pasteable example):
+//
+//   { "name": "accuracy",            // journal/artifact label
+//     "seed": 7,                     // campaign seed (per-experiment
+//                                    // seeds derive from it, below)
+//     "threads": 4,                  // scheduler workers (0 = cores)
+//     "base": { ...ScenarioSpec keys... },
+//     "axes": [
+//       {"kind": "grid", "key": "topology",
+//        "values": ["torus2d:32x32", "ring:1024"]},
+//       {"kind": "grid", "key": "agents", "values": [100, 200, 400]},
+//       {"kind": "zip", "keys": ["eps", "delta"],
+//        "values": [[0.1, 0.05], [0.2, 0.1]]},
+//       {"kind": "list", "specs": [{"lazy": 0.0}, {"lazy": 0.3}]} ] }
+//
+// Axis kinds: `grid` sweeps one key over a value list; `zip` advances
+// several keys in lockstep (one factor of tuples, not a product); and
+// `list` enumerates explicit partial-spec overlays.  Expansion is the
+// cartesian product of the axes (first axis varies slowest), each point
+// overlaid onto `base` through the ScenarioSpec JSON vocabulary — so
+// unknown keys and ill-typed values fail with the same errors as a
+// --spec file.
+//
+// Identity and seeding: every expanded spec gets a content hash
+// (ScenarioSpec::identity_hash — canonical topology spelling, `threads`
+// excluded) that keys the run journal's result cache, and a per-
+// experiment seed derived by splitmix from (campaign seed, hash).  Both
+// depend only on the spec's *content*, never on expansion order, worker
+// count, or which subset already ran — which is what makes campaigns
+// resumable and their journals order-independent.
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "util/json.hpp"
+
+namespace antdense::campaign {
+
+/// One sweep dimension, normalized to a list of JSON-object overlays
+/// ("points").  Expansion takes the cartesian product across axes and
+/// applies each chosen point onto the base spec in axis order.
+struct Axis {
+  enum class Kind { kGrid, kZip, kList };
+
+  Kind kind = Kind::kGrid;
+  /// The spec keys this axis sets (informational; each point carries its
+  /// own keys).  grid: one, zip: several, list: union of its specs'.
+  std::vector<std::string> keys;
+  std::vector<util::JsonValue> points;
+
+  /// Parses one entry of "axes"; throws std::invalid_argument on an
+  /// unknown kind, missing/ill-shaped fields, or an empty value list.
+  static Axis from_json(const util::JsonValue& doc);
+};
+
+/// One concrete experiment produced by expansion.
+struct PlannedExperiment {
+  /// The spec to run: declared fields with the derived seed applied.
+  scenario::ScenarioSpec spec;
+  /// The declared spec's identity JSON (canonical topology, no threads,
+  /// seed as declared) — what the journal records and `id` hashes.
+  util::JsonValue declared;
+  /// identity_hash(declared): the journal's result-cache key.
+  std::string id;
+  /// splitmix(campaign seed, id) — the seed `spec` actually runs with.
+  std::uint64_t seed = 0;
+};
+
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::uint64_t seed = 42;
+  /// Scheduler worker count (0 = one per core).  An execution knob like
+  /// ScenarioSpec::threads: not part of any experiment's identity.
+  unsigned threads = 0;
+  scenario::ScenarioSpec base;
+  std::vector<Axis> axes;  // empty = the base spec alone
+
+  static CampaignSpec from_json(const util::JsonValue& doc);
+  static CampaignSpec from_json_file(const std::string& path);
+
+  /// Expands the axes into concrete experiments: overlays each cartesian
+  /// point onto `base`, validates the resulting spec, computes its
+  /// identity hash, and derives its seed.  Throws std::invalid_argument
+  /// on invalid specs or when two points collapse to the same identity
+  /// (the journal could not tell their results apart).
+  std::vector<PlannedExperiment> expand(
+      const scenario::Registry& registry) const;
+  std::vector<PlannedExperiment> expand() const;  // Registry::built_in()
+};
+
+}  // namespace antdense::campaign

@@ -109,7 +109,9 @@ Registry make_built_in() {
            [](const std::string& params) {
              const auto [w, h] = parse_pair(params, "WIDTHxHEIGHT");
              return "torus2d:" + std::to_string(w) + "x" + std::to_string(h);
-           }});
+           },
+       .grammar = "torus2d:WIDTHxHEIGHT (2-D torus, Section 2; "
+                  "e.g. torus2d:64x64)"});
 
   reg.register_family(
       "ring", {.make =
@@ -121,7 +123,9 @@ Registry make_built_in() {
                    [](const std::string& params) {
                      return "ring:" +
                             std::to_string(parse_u64(params, "NODES"));
-                   }});
+                   },
+               .grammar = "ring:NODES (1-D torus, Section 4.2; "
+                          "e.g. ring:10000)"});
 
   reg.register_family(
       "hypercube",
@@ -133,7 +137,9 @@ Registry make_built_in() {
        .canonical =
            [](const std::string& params) {
              return "hypercube:" + std::to_string(parse_u64(params, "DIMS"));
-           }});
+           },
+       .grammar = "hypercube:DIMS (k-dim hypercube, Section 4.5; "
+                  "e.g. hypercube:14)"});
 
   reg.register_family(
       "toruskd",
@@ -148,7 +154,9 @@ Registry make_built_in() {
              const auto [k, side] = parse_pair(params, "DIMSxSIDE");
              return "toruskd:" + std::to_string(k) + "x" +
                     std::to_string(side);
-           }});
+           },
+       .grammar = "toruskd:DIMSxSIDE (k-dim torus, Section 4.3; "
+                  "e.g. toruskd:3x22)"});
 
   reg.register_family(
       "complete",
@@ -160,7 +168,9 @@ Registry make_built_in() {
        .canonical =
            [](const std::string& params) {
              return "complete:" + std::to_string(parse_u64(params, "NODES"));
-           }});
+           },
+       .grammar = "complete:NODES (complete graph, Section 1.1; "
+                  "e.g. complete:4096)"});
 
   const std::vector<std::string> expander_keys = {"d", "n", "seed"};
   const std::vector<bool> expander_required = {true, true, false};
@@ -187,7 +197,9 @@ Registry make_built_in() {
              return "expander:d=" + std::to_string(v[0]) +
                     ",n=" + std::to_string(v[1]) +
                     ",seed=" + std::to_string(v[2]);
-           }});
+           },
+       .grammar = "expander:d=DEGREE,n=NODES[,seed=S] (random d-regular "
+                  "graph, Section 4.4; e.g. expander:d=8,n=100000,seed=7)"});
 
   return reg;
 }
@@ -209,6 +221,13 @@ void Registry::register_family(const std::string& name, Family family) {
 
 bool Registry::has_family(const std::string& name) const {
   return families_.count(name) > 0;
+}
+
+const std::string& Registry::grammar(const std::string& name) const {
+  const auto it = families_.find(name);
+  ANTDENSE_CHECK(it != families_.end(),
+                 "unknown topology family '" + name + "'");
+  return it->second.grammar;
 }
 
 std::vector<std::string> Registry::family_names() const {

@@ -35,6 +35,11 @@ class Registry {
     std::function<graph::AnyTopology(const std::string& params)> make;
     /// Parses the params and re-emits the canonical "family:..." spec.
     std::function<std::string(const std::string& params)> canonical;
+    /// Human-readable canonical spec grammar plus an example, e.g.
+    /// "torus2d:WIDTHxHEIGHT (e.g. torus2d:64x64)" — what
+    /// `antdense_run --list-topologies` prints so sweep authors can
+    /// discover valid campaign axis values.  Optional.
+    std::string grammar;
   };
 
   /// The registry holding the six built-in families.
@@ -45,6 +50,9 @@ class Registry {
 
   bool has_family(const std::string& name) const;
   std::vector<std::string> family_names() const;
+  /// The registered grammar line for `name` (empty when the family did
+  /// not provide one); throws std::invalid_argument on unknown names.
+  const std::string& grammar(const std::string& name) const;
 
   /// Parses "family:params" and builds the topology.  Throws
   /// std::invalid_argument on an unknown family or malformed params.

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <sstream>
 
+#include "scenario/registry.hpp"
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace antdense::scenario {
 
@@ -13,6 +16,14 @@ namespace {
 
 constexpr const char* kWorkloadNames[] = {"density", "property", "trajectory",
                                           "local-density"};
+/// Index-aligned with kWorkloadNames; extend both together.
+constexpr const char* kWorkloadDescriptions[] = {
+    "Algorithm 1: per-agent density estimates",
+    "Section 5.2: property-frequency estimates",
+    "anytime running estimates at checkpoints",
+    "ground-truth local density at checkpoints"};
+static_assert(std::size(kWorkloadNames) == std::size(kWorkloadDescriptions),
+              "every workload needs a description");
 
 double probability(const std::string& what, double v, bool exclusive_top) {
   ANTDENSE_CHECK(v >= 0.0 && (exclusive_top ? v < 1.0 : v <= 1.0),
@@ -34,6 +45,18 @@ std::uint32_t narrow_u32(std::uint64_t value, const std::string& what) {
 
 std::string workload_name(Workload w) {
   return kWorkloadNames[static_cast<int>(w)];
+}
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names(std::begin(kWorkloadNames),
+                                              std::end(kWorkloadNames));
+  return names;
+}
+
+const std::vector<std::string>& workload_descriptions() {
+  static const std::vector<std::string> descriptions(
+      std::begin(kWorkloadDescriptions), std::end(kWorkloadDescriptions));
+  return descriptions;
 }
 
 Workload parse_workload(const std::string& name) {
@@ -209,6 +232,25 @@ util::JsonValue ScenarioSpec::to_json() const {
   doc.set("checkpoints", checkpoints);
   doc.set("radius", radius);
   return doc;
+}
+
+util::JsonValue ScenarioSpec::identity_json(const Registry& registry) const {
+  util::JsonValue doc = to_json();
+  doc.set("topology", registry.canonical(topology));
+  util::JsonValue identity = util::JsonValue::object();
+  // Rebuild without "threads": worker count changes how fast an
+  // experiment runs, never what it computes, so it must not split the
+  // result cache.
+  for (const auto& [key, value] : doc.entries()) {
+    if (key != "threads") {
+      identity.set(key, value);
+    }
+  }
+  return identity;
+}
+
+std::string ScenarioSpec::identity_hash(const Registry& registry) const {
+  return util::hex64(util::fnv1a64(identity_json(registry).dump(0)));
 }
 
 }  // namespace antdense::scenario

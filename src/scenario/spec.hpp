@@ -24,6 +24,8 @@
 
 namespace antdense::scenario {
 
+class Registry;
+
 /// What to measure over the walk.  All four run through the shared
 /// WalkEngine observers (sim/walk_engine.hpp).
 enum class Workload {
@@ -34,6 +36,12 @@ enum class Workload {
 };
 
 std::string workload_name(Workload w);
+/// All four workload names in enum order, for discovery flags
+/// (antdense_run --list-workloads) and campaign axis validation.
+const std::vector<std::string>& workload_names();
+/// One-line descriptions aligned with workload_names() — kept beside
+/// the names so listing UIs cannot drift out of sync with the enum.
+const std::vector<std::string>& workload_descriptions();
 /// Parses "density" / "property" / "trajectory" / "local-density";
 /// throws std::invalid_argument on anything else.
 Workload parse_workload(const std::string& name);
@@ -97,6 +105,18 @@ struct ScenarioSpec {
   static ScenarioSpec from_json_file(const std::string& path);
 
   util::JsonValue to_json() const;
+
+  /// The spec's *experiment identity*: to_json() with the topology
+  /// canonicalized through `registry` and the `threads` key dropped —
+  /// two specs that describe the same experiment serialize identically
+  /// here no matter how they were built (flags, JSON in any key order,
+  /// or code) or how many workers will run them.  Emitted-field order is
+  /// fixed by to_json(), so dump(0) is a canonical byte string.
+  util::JsonValue identity_json(const Registry& registry) const;
+
+  /// 16-hex-char FNV-1a hash of identity_json().dump(0): the campaign
+  /// journal's cache key.
+  std::string identity_hash(const Registry& registry) const;
 };
 
 }  // namespace antdense::scenario

@@ -1,0 +1,37 @@
+// Content hashing for experiment identity.
+//
+// FNV-1a (64-bit) over canonical serialized bytes: tiny, dependency-free,
+// and stable across platforms and runs — exactly what a result cache
+// keyed on "which experiment is this" needs.  Not cryptographic; the
+// campaign journal uses it to detect "already ran this spec", where an
+// adversarial collision is not part of the threat model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace antdense::util {
+
+/// 64-bit FNV-1a over the bytes of `data`.
+constexpr std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;  // FNV prime
+  }
+  return h;
+}
+
+/// Fixed-width lowercase hex spelling (16 chars), the journal's id format.
+inline std::string hex64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace antdense::util

@@ -15,6 +15,12 @@ namespace {
                               std::to_string(pos));
 }
 
+/// Containers may nest at most this deep.  The parser recurses once per
+/// level, so a pathological document like ten thousand '[' would
+/// otherwise turn into a stack overflow instead of an exception; no
+/// artifact this repo emits comes anywhere near 64 levels.
+constexpr int kMaxNestingDepth = 64;
+
 std::string format_number(double v) {
   if (!std::isfinite(v)) {
     throw std::invalid_argument("json: cannot serialize non-finite number");
@@ -57,7 +63,7 @@ class Parser {
 
   char peek() {
     if (pos_ >= text_.size()) {
-      fail("unexpected end of input", pos_);
+      fail("unexpected end of input (truncated document?)", pos_);
     }
     return text_[pos_];
   }
@@ -106,6 +112,7 @@ class Parser {
 
   JsonValue parse_object() {
     expect('{');
+    const NestingGuard guard(this);
     JsonValue obj = JsonValue::object();
     skip_ws();
     if (peek() == '}') {
@@ -130,6 +137,7 @@ class Parser {
 
   JsonValue parse_array() {
     expect('[');
+    const NestingGuard guard(this);
     JsonValue arr = JsonValue::array();
     skip_ws();
     if (peek() == ']') {
@@ -305,8 +313,23 @@ class Parser {
     return i == token.size();
   }
 
+  /// Counts open containers; parse_object/parse_array hold one for
+  /// their whole body so the limit bounds the recursion depth itself.
+  struct NestingGuard {
+    explicit NestingGuard(Parser* parser) : parser(parser) {
+      if (++parser->depth_ > kMaxNestingDepth) {
+        fail("nesting depth exceeds the limit of " +
+                 std::to_string(kMaxNestingDepth),
+             parser->pos_ - 1);
+      }
+    }
+    ~NestingGuard() { --parser->depth_; }
+    Parser* parser;
+  };
+
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

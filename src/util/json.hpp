@@ -9,7 +9,10 @@
 // every agent/round/node count the repo emits), ordered objects so
 // emitted documents are stable and diffable.  parse() accepts strict
 // JSON (RFC 8259) minus surrogate-pair escapes and throws
-// std::invalid_argument with position info on malformed input.
+// std::invalid_argument with position info on malformed input;
+// containers may nest at most 64 deep (pathological nesting raises the
+// same exception instead of overflowing the parser's recursion) and a
+// truncated document says so rather than failing cryptically.
 #pragma once
 
 #include <cstdint>

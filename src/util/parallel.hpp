@@ -12,6 +12,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stop_token>
 #include <thread>
 #include <vector>
 
@@ -29,5 +30,18 @@ unsigned default_thread_count();
 void parallel_for(std::size_t num_tasks,
                   const std::function<void(std::size_t)>& fn,
                   unsigned num_threads = 0);
+
+/// Cancellable work queue over a std::jthread pool — the campaign
+/// scheduler's substrate.  Same index hand-out as parallel_for, but fn
+/// also receives the pool's stop_token: after the first exception (or an
+/// external stop request) no further indices are handed out and
+/// long-running tasks can poll the token to bail early.  Tasks that
+/// already started still finish (a campaign journals each completed
+/// experiment, so a partial pass must leave only whole records behind).
+/// The first exception is rethrown after all workers join.
+void parallel_for_stoppable(
+    std::size_t num_tasks,
+    const std::function<void(std::size_t, std::stop_token)>& fn,
+    unsigned num_threads = 0);
 
 }  // namespace antdense::util

@@ -104,9 +104,11 @@ TEST(Registry, RuntimeRegistrationExtendsTheVocabulary) {
                     [](const std::string&) {
                       return graph::AnyTopology(graph::Torus2D(4, 4));
                     },
-                .canonical = [](const std::string&) {
-                  return std::string("ring2:fixed");
-                }});
+                .canonical =
+                    [](const std::string&) {
+                      return std::string("ring2:fixed");
+                    },
+                .grammar = "ring2:fixed"});
   EXPECT_TRUE(reg.has_family("ring2"));
   EXPECT_EQ(reg.make("ring2:whatever").num_nodes(), 16u);
   EXPECT_EQ(reg.canonical("ring2:whatever"), "ring2:fixed");
@@ -224,6 +226,81 @@ TEST(ScenarioSpec, LoadsFromSpecFile) {
   EXPECT_EQ(spec.trials, 2u);
   std::remove(path.c_str());
   EXPECT_THROW(ScenarioSpec::from_json_file(path), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Identity: canonical serialization and content hashing
+// ---------------------------------------------------------------------
+
+TEST(ScenarioSpecIdentity, HashStableAcrossJsonKeyOrder) {
+  const Registry& reg = Registry::built_in();
+  const ScenarioSpec a = ScenarioSpec::from_json(util::JsonValue::parse(
+      R"({"topology": "ring:300", "agents": 25, "rounds": 40, "seed": 9})"));
+  const ScenarioSpec b = ScenarioSpec::from_json(util::JsonValue::parse(
+      R"({"seed": 9, "rounds": 40, "agents": 25, "topology": "ring:300"})"));
+  EXPECT_EQ(a.identity_json(reg).dump(0), b.identity_json(reg).dump(0));
+  EXPECT_EQ(a.identity_hash(reg), b.identity_hash(reg));
+  EXPECT_EQ(a.identity_hash(reg).size(), 16u);
+}
+
+TEST(ScenarioSpecIdentity, HashStableAcrossConstructionPaths) {
+  const Registry& reg = Registry::built_in();
+  // Flags, JSON, and direct field assignment describing one experiment.
+  const char* argv[] = {"prog", "--topology=hypercube:9", "--agents=77",
+                        "--rounds=123", "--seed=99"};
+  const ScenarioSpec from_flags =
+      ScenarioSpec::from_args(util::Args(5, argv));
+
+  const ScenarioSpec from_json = ScenarioSpec::from_json(
+      util::JsonValue::parse(R"({"topology": "hypercube:9", "agents": 77,)"
+                             R"( "rounds": 123, "seed": 99})"));
+
+  ScenarioSpec direct;
+  direct.topology = "hypercube:9";
+  direct.agents = 77;
+  direct.rounds = 123;
+  direct.seed = 99;
+
+  EXPECT_EQ(from_flags.identity_hash(reg), from_json.identity_hash(reg));
+  EXPECT_EQ(from_flags.identity_hash(reg), direct.identity_hash(reg));
+}
+
+TEST(ScenarioSpecIdentity, TopologySpellingCanonicalizes) {
+  const Registry& reg = Registry::built_in();
+  ScenarioSpec a;
+  a.topology = "expander:n=100,d=4";  // param order + omitted default
+  ScenarioSpec b;
+  b.topology = "expander:d=4,n=100,seed=1";
+  EXPECT_EQ(a.identity_hash(reg), b.identity_hash(reg));
+  EXPECT_EQ(a.identity_json(reg).find("topology")->as_string(),
+            "expander:d=4,n=100,seed=1");
+}
+
+TEST(ScenarioSpecIdentity, ThreadsDoNotSplitTheIdentity) {
+  const Registry& reg = Registry::built_in();
+  ScenarioSpec a;
+  a.threads = 1;
+  ScenarioSpec b = a;
+  b.threads = 16;
+  EXPECT_EQ(a.identity_hash(reg), b.identity_hash(reg));
+  EXPECT_EQ(a.identity_json(reg).find("threads"), nullptr);
+}
+
+TEST(ScenarioSpecIdentity, SubstantiveFieldsDoSplitTheIdentity) {
+  const Registry& reg = Registry::built_in();
+  const ScenarioSpec base;
+  for (auto mutate : {+[](ScenarioSpec& s) { s.topology = "ring:600"; },
+                      +[](ScenarioSpec& s) { s.agents += 1; },
+                      +[](ScenarioSpec& s) { s.rounds += 1; },
+                      +[](ScenarioSpec& s) { s.seed += 1; },
+                      +[](ScenarioSpec& s) { s.lazy_probability = 0.5; },
+                      +[](ScenarioSpec& s) {
+                        s.workload = Workload::kProperty;
+                      }}) {
+    ScenarioSpec changed = base;
+    mutate(changed);
+    EXPECT_NE(changed.identity_hash(reg), base.identity_hash(reg));
+  }
 }
 
 // ---------------------------------------------------------------------

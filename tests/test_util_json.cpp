@@ -91,6 +91,60 @@ TEST(JsonValue, ParseRejectsMalformedInput) {
   }
 }
 
+TEST(JsonParse, NestingWithinTheLimitParses) {
+  // 64 containers deep is allowed; the document below nests 60.
+  std::string text;
+  for (int i = 0; i < 60; ++i) {
+    text += '[';
+  }
+  for (int i = 0; i < 60; ++i) {
+    text += ']';
+  }
+  EXPECT_NO_THROW(JsonValue::parse(text));
+}
+
+TEST(JsonParse, PathologicalNestingThrowsInsteadOfOverflowing) {
+  // 100k open containers would recurse the parser off the stack without
+  // the depth limit; it must surface as an ordinary parse error.
+  std::string objects;
+  for (int i = 0; i < 100000; ++i) {
+    objects += "{\"a\":";
+  }
+  for (const std::string& text : {std::string(100000, '['), objects}) {
+    try {
+      JsonValue::parse(text);
+      FAIL() << "expected a nesting-depth error";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("nesting depth"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(JsonParse, TruncatedDocumentsNameTheProblem) {
+  const char* truncated[] = {
+      "",
+      "{\"a\": 1",
+      "[1, 2",
+      "{\"a\":",
+      "{",
+  };
+  for (const char* text : truncated) {
+    SCOPED_TRACE(text);
+    try {
+      JsonValue::parse(text);
+      FAIL() << "expected a truncation error";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+          << e.what();
+    }
+  }
+  // Truncations inside string tokens keep their specific messages.
+  EXPECT_THROW(JsonValue::parse("\"abc"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("\"abc\\"), std::invalid_argument);
+}
+
 TEST(JsonValue, TypedAccessorsRejectMismatches) {
   EXPECT_THROW(JsonValue("x").as_double(), std::invalid_argument);
   EXPECT_THROW(JsonValue(1.5).as_uint(), std::invalid_argument);

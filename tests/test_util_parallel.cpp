@@ -65,5 +65,68 @@ TEST(DefaultThreadCount, AtLeastOne) {
   EXPECT_GE(default_thread_count(), 1u);
 }
 
+// ---------------------------------------------------------------------
+// parallel_for_stoppable — the campaign scheduler's jthread work queue
+// ---------------------------------------------------------------------
+
+TEST(ParallelForStoppable, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kTasks = 500;
+  std::vector<std::atomic<int>> visits(kTasks);
+  parallel_for_stoppable(
+      kTasks, [&](std::size_t i, std::stop_token) { ++visits[i]; }, 4);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForStoppable, ResultIndependentOfThreadCount) {
+  constexpr std::size_t kTasks = 64;
+  auto run = [&](unsigned threads) {
+    std::vector<double> out(kTasks);
+    parallel_for_stoppable(
+        kTasks,
+        [&](std::size_t i, std::stop_token) {
+          out[i] = static_cast<double>(i * i);
+        },
+        threads);
+    return out;
+  };
+  EXPECT_EQ(run(1), run(2));
+  EXPECT_EQ(run(2), run(8));
+}
+
+TEST(ParallelForStoppable, ExceptionStopsHandingOutWork) {
+  std::atomic<int> started{0};
+  EXPECT_THROW(
+      parallel_for_stoppable(
+          1000,
+          [&](std::size_t i, std::stop_token) {
+            ++started;
+            if (i == 0) {
+              throw std::runtime_error("boom");
+            }
+          },
+          2),
+      std::runtime_error);
+  // The failing task plus at most the tasks already claimed by other
+  // workers run; the queue must not drain all 1000.
+  EXPECT_LT(started.load(), 1000);
+}
+
+TEST(ParallelForStoppable, TokenObservableInsideTasks) {
+  // Without an exception no stop is ever requested, single- or
+  // multi-threaded.
+  std::atomic<int> stopped{0};
+  parallel_for_stoppable(
+      8,
+      [&](std::size_t, std::stop_token token) {
+        if (token.stop_requested()) {
+          ++stopped;
+        }
+      },
+      3);
+  EXPECT_EQ(stopped.load(), 0);
+}
+
 }  // namespace
 }  // namespace antdense::util
