@@ -41,6 +41,10 @@ void print_usage(std::ostream& os) {
      << "  --threads=N             scheduler workers (default: the\n"
      << "                          campaign's \"threads\"; 0 there = one\n"
      << "                          worker per core)\n"
+     << "  --inner-threads=N       threads per experiment (within-\n"
+     << "                          experiment parallelism; the scheduler\n"
+     << "                          clamps workers x inner to the core\n"
+     << "                          count, with a message on stderr)\n"
      << "  --max-experiments=K     stop after K new experiments\n"
      << "  --quiet                 suppress per-experiment progress\n"
      << "  (resume additionally requires the journal to exist)\n\n"
@@ -102,8 +106,8 @@ std::string require_journal(const util::Args& args) {
 }
 
 int cmd_run(const util::Args& args, bool resume) {
-  args.require_known({"campaign", "journal", "threads", "max-experiments",
-                      "quiet", "help"});
+  args.require_known({"campaign", "journal", "threads", "inner-threads",
+                      "max-experiments", "quiet", "help"});
   const campaign::CampaignSpec spec = load_campaign(args);
   const std::string journal_path = require_journal(args);
   if (resume && !std::ifstream(journal_path)) {
@@ -115,7 +119,12 @@ int cmd_run(const util::Args& args, bool resume) {
   campaign::RunOptions options;
   options.threads =
       static_cast<unsigned>(args.get_uint("threads", spec.threads));
+  options.inner_threads =
+      static_cast<unsigned>(args.get_uint("inner-threads", 1));
   options.max_experiments = args.get_uint("max-experiments", 0);
+  options.on_diagnostic = [](const std::string& message) {
+    std::cerr << "antdense_sweep: " << message << "\n";
+  };
   const bool quiet = args.get_bool("quiet", false);
   if (!quiet) {
     options.on_complete = [](const campaign::PlannedExperiment& p,

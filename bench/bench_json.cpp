@@ -20,6 +20,12 @@ std::string to_json(const std::vector<BenchRecord>& records) {
     rec.set("agents", r.agents);
     rec.set("rounds", r.rounds);
     rec.set("ns_per_agent_round", r.ns_per_agent_round);
+    if (r.threads != 0) {
+      rec.set("threads", r.threads);
+    }
+    if (r.hardware_threads != 0) {
+      rec.set("hardware_threads", r.hardware_threads);
+    }
     doc.push_back(std::move(rec));
   }
   return doc.dump() + "\n";

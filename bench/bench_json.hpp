@@ -7,7 +7,14 @@
 //     "topology": str,             // Topology::name()
 //     "agents": int,
 //     "rounds": int,
-//     "ns_per_agent_round": float }
+//     "ns_per_agent_round": float,
+//     "threads": int,              // optional: worker threads used
+//     "hardware_threads": int }    // optional: cores on the bench host
+//
+// The two optional fields (emitted only when a bench sets them nonzero)
+// let multi-threaded benches like bench_shard record how wide they ran
+// and how wide the host was — a "sharded/t8" row on a 4-core CI runner
+// or a 1-core container is meaningless without them.
 //
 // Serialization rides on the shared in-repo writer (util/json.hpp) — no
 // external JSON dependency — which escapes strings and rejects
@@ -26,6 +33,8 @@ struct BenchRecord {
   std::uint64_t agents = 0;
   std::uint64_t rounds = 0;
   double ns_per_agent_round = 0.0;
+  std::uint64_t threads = 0;           // 0 = not recorded
+  std::uint64_t hardware_threads = 0;  // 0 = not recorded
 };
 
 /// Serializes the records as a pretty-printed JSON array.  Throws

@@ -1,7 +1,9 @@
 #include "campaign/scheduler.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <string>
 #include <set>
 #include <utility>
 #include <vector>
@@ -57,8 +59,56 @@ RunReport run_campaign(const CampaignSpec& campaign,
   }
 
   Journal journal(journal_path);
-  const unsigned threads =
+
+  // The scheduler owns the thread budget: workers x inner_threads is
+  // kept within the hardware so campaigns cannot silently oversubscribe
+  // (experiment results never depend on either knob, so clamping is
+  // always safe).  Diagnostics go to on_diagnostic rather than a
+  // hard error: a campaign authored on a 32-core box should still run,
+  // clamped and loudly, on a 4-core one.
+  const unsigned hardware = util::default_thread_count();
+  unsigned inner = std::max(1u, options.inner_threads);
+  if (inner > hardware) {
+    if (options.on_diagnostic) {
+      options.on_diagnostic(
+          "campaign '" + campaign.name + "': inner_threads=" +
+          std::to_string(inner) + " exceeds hardware_concurrency=" +
+          std::to_string(hardware) + "; clamping to " +
+          std::to_string(hardware));
+    }
+    inner = hardware;
+  }
+  unsigned threads =
       options.threads != 0 ? options.threads : campaign.threads;
+  if (threads == 0) {
+    threads = hardware / inner;  // one worker per free core
+  }
+  threads = std::max(1u, threads);
+  if (threads * inner > hardware) {
+    if (inner > 1) {
+      // Within-experiment threads multiply per worker, so the budget is
+      // enforced by shrinking the worker pool.
+      const unsigned clamped = std::max(1u, hardware / inner);
+      if (options.on_diagnostic) {
+        options.on_diagnostic(
+            "campaign '" + campaign.name + "': " + std::to_string(threads) +
+            " worker(s) x " + std::to_string(inner) +
+            " thread(s) per experiment exceeds hardware_concurrency=" +
+            std::to_string(hardware) + "; clamping workers to " +
+            std::to_string(clamped));
+      }
+      threads = clamped;
+    } else if (options.on_diagnostic) {
+      // Plain worker oversubscription stays allowed (it is harmless,
+      // and differential tests rely on running N workers on fewer
+      // cores) — but it is no longer silent.
+      options.on_diagnostic(
+          "campaign '" + campaign.name + "': " + std::to_string(threads) +
+          " worker(s) exceed hardware_concurrency=" +
+          std::to_string(hardware) + "; running oversubscribed");
+    }
+  }
+
   std::atomic<std::size_t> completed{0};
   std::mutex progress_mutex;
 
@@ -66,12 +116,12 @@ RunReport run_campaign(const CampaignSpec& campaign,
       pending.size(),
       [&](std::size_t i, std::stop_token) {
         const PlannedExperiment& p = pending[i];
-        // The scheduler owns the parallelism: each experiment runs its
-        // trials serially so N workers saturate N cores without
-        // oversubscription (and the result is the same either way —
-        // trial fan-out is thread-count-invariant by construction).
+        // Experiment-level parallelism comes from the workers;
+        // within-experiment parallelism from inner_threads.  Either
+        // way the result is the same — thread counts are resource
+        // knobs, never part of an experiment's identity.
         scenario::ScenarioSpec spec = p.spec;
-        spec.threads = 1;
+        spec.threads = inner;
         const scenario::ScenarioResult result =
             scenario::Experiment(std::move(spec), registry).run();
         journal.append(make_record(p, result, campaign.name));

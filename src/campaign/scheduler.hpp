@@ -27,6 +27,16 @@ struct RunOptions {
   /// Scheduler workers; 0 falls back to the campaign's `threads`, and 0
   /// there means one per core.
   unsigned threads = 0;
+  /// Threads handed to each experiment (ScenarioSpec::threads while it
+  /// runs) — within-experiment parallelism, which pays off for
+  /// `engine=sharded` specs or trial fan-outs.  When inner_threads > 1
+  /// the scheduler keeps workers x inner_threads within
+  /// hardware_concurrency by shrinking the worker pool, reporting
+  /// through on_diagnostic; plain worker oversubscription (inner == 1)
+  /// stays allowed but is reported too.  Results are unaffected either
+  /// way (threads never changes what an experiment computes).  0 or 1 =
+  /// the historical single-threaded-experiment regime.
+  unsigned inner_threads = 1;
   /// Cap on experiments *executed* this invocation (0 = no cap).  The
   /// journal keeps what ran, so a capped run is exactly an interrupted
   /// one — the CI smoke job resumes from it deterministically.
@@ -36,6 +46,10 @@ struct RunOptions {
   std::function<void(const PlannedExperiment&, std::size_t done,
                      std::size_t scheduled)>
       on_complete;
+  /// Receives human-readable scheduling diagnostics (currently: the
+  /// thread-budget clamp message when a campaign asks for more total
+  /// threads than the hardware has).  Unset = diagnostics are dropped.
+  std::function<void(const std::string&)> on_diagnostic;
 };
 
 struct RunReport {

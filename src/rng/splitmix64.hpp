@@ -31,6 +31,16 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// SplitMix64's output mixer on its own: a cheap full-avalanche 64-bit
+/// hash.  Both collision counters key their probe sequences off this
+/// exact function — they must agree (serial/sharded parity tests assume
+/// identical hashing), which is why it lives here once.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 /// Hash-combines a root seed with stream indices into a new 64-bit seed.
 /// derive_seed(s, a, b) != derive_seed(s, b, a) by construction, and the
 /// avalanche properties of SplitMix64's mixer keep adjacent indices

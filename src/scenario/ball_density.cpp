@@ -1,5 +1,6 @@
 #include "scenario/ball_density.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -10,39 +11,48 @@ namespace antdense::scenario {
 
 BallDensityObserver::BallDensityObserver(
     const graph::AnyTopology& topo, std::uint32_t radius,
-    std::vector<std::uint32_t> checkpoints)
+    std::vector<std::uint32_t> checkpoints, std::uint32_t num_agents)
     : topo_(&topo), radius_(radius), checkpoints_(std::move(checkpoints)) {
   sim::detail::validate_checkpoints(checkpoints_);
+  ANTDENSE_CHECK(num_agents >= 1, "need at least one agent");
+  densities_.assign(checkpoints_.size(),
+                    std::vector<double>(num_agents, 0.0));
 }
 
-void BallDensityObserver::after_round(
-    const sim::RoundView& v, std::span<const std::uint64_t> positions) {
-  if (next_checkpoint_ >= checkpoints_.size() ||
-      v.round != checkpoints_[next_checkpoint_]) {
+void BallDensityObserver::record(
+    std::uint32_t round, std::uint32_t begin_agent, std::uint32_t end_agent,
+    std::span<const std::uint64_t> positions,
+    const std::function<std::uint32_t(std::uint64_t)>& occupancy) {
+  const auto it =
+      std::lower_bound(checkpoints_.begin(), checkpoints_.end(), round);
+  if (it == checkpoints_.end() || *it != round) {
     return;
   }
-  ++next_checkpoint_;
+  std::vector<double>& row =
+      densities_[static_cast<std::size_t>(it - checkpoints_.begin())];
+  ANTDENSE_ASSERT(positions.size() == row.size(),
+                  "observer sized for a different agent count");
 
-  std::vector<double> row;
-  row.reserve(positions.size());
-  // Reused BFS scratch: nodes are deduplicated by key, which is unique
-  // per node for every Topology.  Co-located agents see the same ball,
-  // so density is memoized per occupied node.
+  // Hook-local BFS scratch: nodes are deduplicated by key, which is
+  // unique per node for every Topology.  Co-located agents see the same
+  // ball, so density is memoized per occupied node (per hook call — one
+  // shard's slice under the sharded engine).
   std::unordered_set<std::uint64_t> visited;
   std::vector<std::uint64_t> frontier;
   std::vector<std::uint64_t> next;
   std::unordered_map<std::uint64_t, double> by_start_key;
-  for (const std::uint64_t start : positions) {
+  for (std::uint32_t a = begin_agent; a < end_agent; ++a) {
+    const std::uint64_t start = positions[a];
     const auto memo = by_start_key.find(topo_->key(start));
     if (memo != by_start_key.end()) {
-      row.push_back(memo->second);
+      row[a] = memo->second;
       continue;
     }
     visited.clear();
     frontier.clear();
     frontier.push_back(start);
     visited.insert(topo_->key(start));
-    std::uint64_t occupants = v.counter.occupancy(topo_->key(start));
+    std::uint64_t occupants = occupancy(topo_->key(start));
     for (std::uint32_t depth = 0; depth < radius_; ++depth) {
       // Saturated: the ball already covers the graph (e.g. the complete
       // graph at radius >= 1), so further expansion finds nothing new.
@@ -58,7 +68,7 @@ void BallDensityObserver::after_round(
         for (std::size_t i = before; i < next.size(); ++i) {
           const std::uint64_t k = topo_->key(next[i]);
           if (visited.insert(k).second) {
-            occupants += v.counter.occupancy(k);
+            occupants += occupancy(k);
             next[kept++] = next[i];
           }
         }
@@ -70,9 +80,8 @@ void BallDensityObserver::after_round(
     const double density = static_cast<double>(occupants - 1) /
                            static_cast<double>(visited.size());
     by_start_key.emplace(topo_->key(start), density);
-    row.push_back(density);
+    row[a] = density;
   }
-  densities_.push_back(std::move(row));
 }
 
 }  // namespace antdense::scenario

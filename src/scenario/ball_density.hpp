@@ -8,9 +8,15 @@
 //
 // Cost: one BFS per agent per checkpoint (O(agents x ball size)) — the
 // walk's hot loop is untouched; balls are only expanded at snapshots.
+//
+// Shard-safe: every density row is preallocated (checkpoints x agents)
+// and after_round writes only the view's agent slice, so the sharded
+// engine can run one hook per shard concurrently; BFS scratch and the
+// per-node memo are hook-local.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -25,10 +31,14 @@ namespace antdense::scenario {
 class BallDensityObserver {
  public:
   BallDensityObserver(const graph::AnyTopology& topo, std::uint32_t radius,
-                      std::vector<std::uint32_t> checkpoints);
+                      std::vector<std::uint32_t> checkpoints,
+                      std::uint32_t num_agents);
 
-  void after_round(const sim::RoundView& v,
-                   std::span<const std::uint64_t> positions);
+  template <typename View>
+  void after_round(const View& v, std::span<const std::uint64_t> positions) {
+    record(v.round, v.begin_agent, v.end_agent, positions,
+           [&v](std::uint64_t key) { return v.counter.occupancy(key); });
+  }
 
   const std::vector<std::uint32_t>& checkpoints() const {
     return checkpoints_;
@@ -42,10 +52,18 @@ class BallDensityObserver {
   }
 
  private:
+  /// Fills densities_[checkpoint_of(round)][begin..end) — a no-op for
+  /// non-checkpoint rounds.  `occupancy` reads the round's collision
+  /// counter (type-erased so both engine counters work; balls are only
+  /// expanded at checkpoints, so the indirection is off the hot loop).
+  void record(std::uint32_t round, std::uint32_t begin_agent,
+              std::uint32_t end_agent,
+              std::span<const std::uint64_t> positions,
+              const std::function<std::uint32_t(std::uint64_t)>& occupancy);
+
   const graph::AnyTopology* topo_;
   std::uint32_t radius_;
   std::vector<std::uint32_t> checkpoints_;
-  std::size_t next_checkpoint_ = 0;
   std::vector<std::vector<double>> densities_;
 };
 

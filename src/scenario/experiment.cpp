@@ -9,6 +9,7 @@
 #include "rng/splitmix64.hpp"
 #include "scenario/ball_density.hpp"
 #include "sim/density_sim.hpp"
+#include "sim/sharded_walk.hpp"
 #include "sim/trial_runner.hpp"
 #include "sim/walk_engine.hpp"
 #include "stats/accumulator.hpp"
@@ -142,12 +143,26 @@ ScenarioResult Experiment::run() const {
 
   switch (spec_.workload) {
     case Workload::kDensity: {
-      // One trial matches run_density_walk(seed) exactly; fan-outs pool
-      // derived per-trial streams through the parallel trial runner.
+      // Single-stream, one trial matches run_density_walk(seed) exactly;
+      // fan-outs pool derived per-trial streams through the parallel
+      // trial runner.  The sharded engine keeps its own (thread-count-
+      // invariant) stream: one trial parallelizes within the walk, fan-
+      // outs parallelize across trials and run each walk's shards
+      // serially — the estimates are identical either way.
+      const bool sharded = spec_.engine == EngineMode::kSharded;
       if (spec_.trials == 1) {
         result.estimates =
-            sim::run_density_walk(topo_, density_config(spec_), spec_.seed)
-                .estimates();
+            sharded ? sim::run_density_walk_sharded(
+                          topo_, density_config(spec_), spec_.seed,
+                          sim::ShardExec{.threads = spec_.threads})
+                          .estimates()
+                    : sim::run_density_walk(topo_, density_config(spec_),
+                                            spec_.seed)
+                          .estimates();
+      } else if (sharded) {
+        result.estimates = sim::collect_all_agent_estimates_sharded(
+            topo_, density_config(spec_), spec_.seed, spec_.trials,
+            spec_.threads);
       } else {
         result.estimates = sim::collect_all_agent_estimates(
             topo_, density_config(spec_), spec_.seed, spec_.trials,
@@ -177,8 +192,16 @@ ScenarioResult Experiment::run() const {
                      assign_gen, spec_.agents, num_property)) {
               has_property[idx] = true;
             }
-            const sim::PropertyResult raw = sim::run_property_walk(
-                topo_, density_config(spec_), has_property, trial_seed);
+            const sim::PropertyResult raw =
+                spec_.engine == EngineMode::kSharded
+                    ? sim::run_property_walk_sharded(
+                          topo_, density_config(spec_), has_property,
+                          trial_seed,
+                          sim::ShardExec{.threads = spec_.trials == 1
+                                             ? spec_.threads
+                                             : 1})
+                    : sim::run_property_walk(topo_, density_config(spec_),
+                                             has_property, trial_seed);
             std::vector<double>& freq = per_trial[trial];
             freq.reserve(spec_.agents);
             for (std::uint32_t i = 0; i < spec_.agents; ++i) {
@@ -212,9 +235,17 @@ ScenarioResult Experiment::run() const {
       cfg.num_agents = spec_.agents;
       cfg.rounds = result.checkpoints.back();
       cfg.lazy_probability = spec_.lazy_probability;
-      sim::run_walk(topo_, cfg, rng::derive_seed(spec_.seed, 0x7124u),
-                    static_cast<const std::vector<std::uint64_t>*>(nullptr),
-                    counts, trajectory);
+      if (spec_.engine == EngineMode::kSharded) {
+        sim::run_walk_sharded(
+            topo_, cfg, rng::derive_seed(spec_.seed, 0x7124u),
+            sim::ShardExec{.threads = spec_.threads},
+            static_cast<const std::vector<std::uint64_t>*>(nullptr), counts,
+            trajectory);
+      } else {
+        sim::run_walk(topo_, cfg, rng::derive_seed(spec_.seed, 0x7124u),
+                      static_cast<const std::vector<std::uint64_t>*>(nullptr),
+                      counts, trajectory);
+      }
       result.series = trajectory.take_estimates();
       for (const auto& trace : result.series) {
         result.estimates.push_back(trace.back());
@@ -224,14 +255,22 @@ ScenarioResult Experiment::run() const {
 
     case Workload::kLocalDensity: {
       result.checkpoints = spec_.checkpoint_rounds(spec_.rounds);
-      BallDensityObserver balls(topo_, spec_.radius, result.checkpoints);
+      BallDensityObserver balls(topo_, spec_.radius, result.checkpoints,
+                                spec_.agents);
       sim::WalkConfig cfg;
       cfg.num_agents = spec_.agents;
       cfg.rounds = result.checkpoints.back();
       cfg.lazy_probability = spec_.lazy_probability;
-      sim::run_walk(topo_, cfg, rng::derive_seed(spec_.seed, 0x10Du),
-                    static_cast<const std::vector<std::uint64_t>*>(nullptr),
-                    balls);
+      if (spec_.engine == EngineMode::kSharded) {
+        sim::run_walk_sharded(
+            topo_, cfg, rng::derive_seed(spec_.seed, 0x10Du),
+            sim::ShardExec{.threads = spec_.threads},
+            static_cast<const std::vector<std::uint64_t>*>(nullptr), balls);
+      } else {
+        sim::run_walk(topo_, cfg, rng::derive_seed(spec_.seed, 0x10Du),
+                      static_cast<const std::vector<std::uint64_t>*>(nullptr),
+                      balls);
+      }
       const std::vector<std::vector<double>> densities =
           balls.take_densities();
       result.estimates = densities.back();

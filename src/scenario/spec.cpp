@@ -43,6 +43,21 @@ std::uint32_t narrow_u32(std::uint64_t value, const std::string& what) {
 
 }  // namespace
 
+std::string engine_mode_name(EngineMode mode) {
+  return mode == EngineMode::kSingleStream ? "single" : "sharded";
+}
+
+EngineMode parse_engine_mode(const std::string& name) {
+  if (name == "single") {
+    return EngineMode::kSingleStream;
+  }
+  if (name == "sharded") {
+    return EngineMode::kSharded;
+  }
+  throw std::invalid_argument("unknown engine mode '" + name +
+                              "' (expected single or sharded)");
+}
+
 std::string workload_name(Workload w) {
   return kWorkloadNames[static_cast<int>(w)];
 }
@@ -114,8 +129,8 @@ std::vector<std::string> ScenarioSpec::key_names() {
   return {"topology", "workload", "agents",   "rounds",
           "eps",      "delta",    "lazy",     "miss",
           "spurious", "trials",   "threads",  "seed",
-          "property-fraction",    "tracked",  "checkpoints",
-          "radius"};
+          "engine",   "property-fraction",    "tracked",
+          "checkpoints",          "radius"};
 }
 
 ScenarioSpec ScenarioSpec::from_args(const util::Args& args,
@@ -137,6 +152,9 @@ ScenarioSpec ScenarioSpec::from_args(const util::Args& args,
   s.trials = narrow_u32(args.get_uint("trials", s.trials), "trials");
   s.threads = narrow_u32(args.get_uint("threads", s.threads), "threads");
   s.seed = args.get_uint("seed", s.seed);
+  if (args.has("engine")) {
+    s.engine = parse_engine_mode(args.get_string("engine", ""));
+  }
   s.property_fraction =
       args.get_double("property-fraction", s.property_fraction);
   s.tracked = narrow_u32(args.get_uint("tracked", s.tracked), "tracked");
@@ -177,6 +195,8 @@ ScenarioSpec ScenarioSpec::from_json(const util::JsonValue& doc,
       s.threads = narrow_u32(value.as_uint(), "threads");
     } else if (key == "seed") {
       s.seed = value.as_uint();
+    } else if (key == "engine") {
+      s.engine = parse_engine_mode(value.as_string());
     } else if (key == "property-fraction") {
       s.property_fraction = value.as_double();
     } else if (key == "tracked") {
@@ -227,6 +247,7 @@ util::JsonValue ScenarioSpec::to_json() const {
   doc.set("trials", trials);
   doc.set("threads", static_cast<std::uint64_t>(threads));
   doc.set("seed", seed);
+  doc.set("engine", engine_mode_name(engine));
   doc.set("property-fraction", property_fraction);
   doc.set("tracked", tracked);
   doc.set("checkpoints", checkpoints);

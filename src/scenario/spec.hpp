@@ -35,6 +35,21 @@ enum class Workload {
   kLocalDensity,  // ground-truth local density at checkpoints
 };
 
+/// How the walk itself executes.  This is part of the experiment's
+/// *identity*, not a resource knob: the two engines consume different
+/// (equally valid) random streams, so their results differ bitwise.
+/// Within either engine, results are bit-identical for any `threads`.
+enum class EngineMode {
+  kSingleStream,  // the historical run_walk stream; threads only fan
+                  // out Monte Carlo trials
+  kSharded,       // sim/sharded_walk.hpp: per-shard streams, threads
+                  // parallelize within one walk too
+};
+
+std::string engine_mode_name(EngineMode mode);
+/// Parses "single" / "sharded"; throws std::invalid_argument otherwise.
+EngineMode parse_engine_mode(const std::string& name);
+
 std::string workload_name(Workload w);
 /// All four workload names in enum order, for discovery flags
 /// (antdense_run --list-workloads) and campaign axis validation.
@@ -70,6 +85,9 @@ struct ScenarioSpec {
   std::uint32_t trials = 1;
   unsigned threads = 0;      // 0 = one per core
   std::uint64_t seed = 42;
+  /// Walk execution model (see EngineMode).  Identity-bearing: part of
+  /// to_json/identity_json, unlike `threads`.
+  EngineMode engine = EngineMode::kSingleStream;
 
   // --- workload-specific knobs --------------------------------------
   double property_fraction = 0.25;  // property: fraction of P-agents

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "rng/splitmix64.hpp"
 #include "util/check.hpp"
 
 namespace antdense::sim {
@@ -42,12 +43,7 @@ class CollisionCounter {
     std::uint32_t count = 0;
   };
 
-  static std::uint64_t mix(std::uint64_t key) {
-    // SplitMix64 finalizer: full-avalanche, cheap.
-    key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    key = (key ^ (key >> 27)) * 0x94D049BB133111EBULL;
-    return key ^ (key >> 31);
-  }
+  static std::uint64_t mix(std::uint64_t key) { return rng::mix64(key); }
 
   std::vector<Slot> slots_;
   std::uint64_t mask_;

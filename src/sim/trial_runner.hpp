@@ -8,7 +8,10 @@
 //   - collect_single_agent_estimates: keeps only agent 0 per trial,
 //     giving fully independent samples for tail estimation.
 // Trials are parallelized; each trial's seed derives from its index, so
-// output is identical for any thread count.
+// output is identical for any thread count.  The _sharded variant pools
+// the sharded engine's stream instead (walks run their shards serially
+// inside each worker — by the sharded engine's thread-count invariance
+// the estimates are identical to any within-walk parallelization).
 #pragma once
 
 #include <cstdint>
@@ -17,9 +20,34 @@
 #include "graph/topology.hpp"
 #include "rng/splitmix64.hpp"
 #include "sim/density_sim.hpp"
+#include "sim/sharded_walk.hpp"
 #include "util/parallel.hpp"
 
 namespace antdense::sim {
+
+namespace detail {
+
+/// Shared trial fan-out: runs run_trial(trial) -> per-agent estimates in
+/// parallel and concatenates the results in trial order.
+template <typename RunTrialFn>
+std::vector<double> pool_trial_estimates(std::uint32_t trials,
+                                         std::uint32_t num_agents,
+                                         unsigned threads,
+                                         RunTrialFn&& run_trial) {
+  std::vector<std::vector<double>> per_trial(trials);
+  util::parallel_for(
+      trials,
+      [&](std::size_t trial) { per_trial[trial] = run_trial(trial); },
+      threads);
+  std::vector<double> all;
+  all.reserve(static_cast<std::size_t>(trials) * num_agents);
+  for (const auto& v : per_trial) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  return all;
+}
+
+}  // namespace detail
 
 template <graph::Topology T>
 std::vector<double> collect_all_agent_estimates(const T& topo,
@@ -27,21 +55,26 @@ std::vector<double> collect_all_agent_estimates(const T& topo,
                                                 std::uint64_t root_seed,
                                                 std::uint32_t trials,
                                                 unsigned threads = 0) {
-  std::vector<std::vector<double>> per_trial(trials);
-  util::parallel_for(
-      trials,
-      [&](std::size_t trial) {
-        const DensityResult r = run_density_walk(
-            topo, cfg, rng::derive_seed(root_seed, trial));
-        per_trial[trial] = r.estimates();
-      },
-      threads);
-  std::vector<double> all;
-  all.reserve(static_cast<std::size_t>(trials) * cfg.num_agents);
-  for (const auto& v : per_trial) {
-    all.insert(all.end(), v.begin(), v.end());
-  }
-  return all;
+  return detail::pool_trial_estimates(
+      trials, cfg.num_agents, threads, [&](std::size_t trial) {
+        return run_density_walk(topo, cfg, rng::derive_seed(root_seed, trial))
+            .estimates();
+      });
+}
+
+/// collect_all_agent_estimates on the sharded engine: same per-trial
+/// seed derivation, sharded stream per walk.
+template <graph::Topology T>
+std::vector<double> collect_all_agent_estimates_sharded(
+    const T& topo, const DensityConfig& cfg, std::uint64_t root_seed,
+    std::uint32_t trials, unsigned threads = 0) {
+  return detail::pool_trial_estimates(
+      trials, cfg.num_agents, threads, [&](std::size_t trial) {
+        return run_density_walk_sharded(topo, cfg,
+                                        rng::derive_seed(root_seed, trial),
+                                        ShardExec{.threads = 1})
+            .estimates();
+      });
 }
 
 template <graph::Topology T>

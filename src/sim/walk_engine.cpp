@@ -11,37 +11,13 @@ void WalkConfig::validate() const {
                  "lazy probability must be in [0,1)");
 }
 
-CollisionObserver::CollisionObserver(std::uint32_t num_agents,
-                                     Noise noise)
+CollisionObserver::CollisionObserver(std::uint32_t num_agents, Noise noise)
     : noise_(noise), counts_(num_agents, 0) {
   ANTDENSE_CHECK(num_agents >= 1, "need at least one agent");
   ANTDENSE_CHECK(noise.detection_miss >= 0.0 && noise.detection_miss <= 1.0,
                  "miss probability must be in [0,1]");
   ANTDENSE_CHECK(noise.spurious >= 0.0 && noise.spurious <= 1.0,
                  "spurious probability must be in [0,1]");
-}
-
-void CollisionObserver::after_round(const RoundView& v) {
-  ANTDENSE_ASSERT(v.num_agents == counts_.size(),
-                  "observer sized for a different agent count");
-  if (noise_.detection_miss == 0.0 && noise_.spurious == 0.0) {
-    for (std::uint32_t i = 0; i < v.num_agents; ++i) {
-      counts_[i] += v.counter.occupancy(v.keys[i]) - 1;
-    }
-    return;
-  }
-  for (std::uint32_t i = 0; i < v.num_agents; ++i) {
-    std::uint64_t others = v.counter.occupancy(v.keys[i]) - 1;
-    if (noise_.detection_miss > 0.0) {
-      // Each partner is detected independently w.p. 1-p: one binomial
-      // draw instead of the legacy per-partner Bernoulli loop.
-      others = rng::binomial(v.gen, others, 1.0 - noise_.detection_miss);
-    }
-    if (noise_.spurious > 0.0 && rng::bernoulli(v.gen, noise_.spurious)) {
-      ++others;
-    }
-    counts_[i] += others;
-  }
 }
 
 PropertyObserver::PropertyObserver(std::vector<bool> has_property)
@@ -53,20 +29,8 @@ PropertyObserver::PropertyObserver(std::vector<bool> has_property)
                  "property flags must cover at least one agent");
 }
 
-void PropertyObserver::after_round(const RoundView& v) {
-  ANTDENSE_ASSERT(v.num_agents == has_property_.size(),
-                  "observer sized for a different agent count");
+void PropertyObserver::begin_round(std::uint32_t) {
   prop_counter_.begin_round();
-  for (std::uint32_t i = 0; i < v.num_agents; ++i) {
-    if (has_property_[i]) {
-      prop_counter_.add(v.keys[i]);
-    }
-  }
-  for (std::uint32_t i = 0; i < v.num_agents; ++i) {
-    total_counts_[i] += v.counter.occupancy(v.keys[i]) - 1;
-    const std::uint32_t prop_occ = prop_counter_.occupancy(v.keys[i]);
-    property_counts_[i] += prop_occ - (has_property_[i] ? 1 : 0);
-  }
 }
 
 namespace detail {
@@ -98,14 +62,14 @@ TrajectoryObserver::TrajectoryObserver(const CollisionObserver& source,
   }
 }
 
-void TrajectoryObserver::after_round(const RoundView& v) {
+void TrajectoryObserver::end_round(std::uint32_t round) {
   if (next_checkpoint_ >= checkpoints_.size() ||
-      v.round != checkpoints_[next_checkpoint_]) {
+      round != checkpoints_[next_checkpoint_]) {
     return;
   }
   const std::vector<std::uint64_t>& counts = source_->counts();
   for (std::uint32_t a = 0; a < tracked_; ++a) {
-    estimates_[a].push_back(static_cast<double>(counts[a]) / v.round);
+    estimates_[a].push_back(static_cast<double>(counts[a]) / round);
   }
   ++next_checkpoint_;
 }

@@ -11,9 +11,11 @@
 //      sequential calls), the legacy per-agent Bernoulli/step loop when
 //      it is;
 //   3. keys are recomputed and the occupancy counter filled;
-//   4. each observer's after_round hook fires, in pack order, seeing the
-//      round's keys, the occupancy counter, the positions (if it asks
-//      for them), and the engine's generator (for noise draws).
+//   4. observer hooks fire, in pack order: begin_round (serial setup),
+//      fill (auxiliary occupancy counting), after_round (per-agent
+//      reads, seeing the round's keys, the occupancy counter, the
+//      positions if asked for, and the generator for noise draws), and
+//      end_round (cross-agent snapshots).
 //
 // Observers are a compile-time pack, so the round loop inlines their
 // hooks with zero dispatch cost — the engine with a single
@@ -23,6 +25,14 @@
 // bit-for-bit); the one deliberate re-golden is the detection-miss path,
 // which now uses a single binomial draw per agent (rng::binomial)
 // instead of a per-partner Bernoulli loop.
+//
+// The hooks work on a *view* that names an agent range [begin_agent,
+// end_agent): run_walk always passes the full population, while the
+// sharded engine (sim/sharded_walk.hpp) drives the same observers one
+// shard at a time, against a concurrent counter and per-shard
+// generators.  Observer state indexed by agent id is therefore written
+// in disjoint slices, which is what makes the sharded merge free and
+// thread-count-invariant.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +43,7 @@
 #include "rng/random.hpp"
 #include "rng/xoshiro256pp.hpp"
 #include "sim/collision_counter.hpp"
+#include "sim/concurrent_counter.hpp"
 #include "util/check.hpp"
 
 namespace antdense::sim {
@@ -49,24 +60,53 @@ struct WalkConfig {
 
 /// What an observer sees at the end of each round.  Everything is a view
 /// into engine state; observers must not hold onto it past the call.
-/// `gen` is the engine's generator: observers that draw from it (noise
-/// models) become part of the reproducible stream, in pack order.
-struct RoundView {
-  std::uint32_t round = 0;  // 1-based
-  std::uint32_t num_agents = 0;
+/// `gen` is the generator whose draws are reproducible for this view's
+/// agent range — the engine's single stream in run_walk, the shard's
+/// private stream in run_walk_sharded.  Observers that draw from it
+/// (noise models) become part of the reproducible stream, in pack order.
+/// Hooks must only write observer state belonging to agents in
+/// [begin_agent, end_agent); the sharded engine runs hooks for distinct
+/// ranges concurrently.
+template <typename Counter>
+struct BasicRoundView {
+  std::uint32_t round = 0;        // 1-based
+  std::uint32_t begin_agent = 0;  // this view's agent range
+  std::uint32_t end_agent = 0;
+  std::uint32_t num_agents = 0;         // whole population
   std::span<const std::uint64_t> keys;  // keys[i] = key of agent i's node
-  const CollisionCounter& counter;      // occupancy of the current round
+  const Counter& counter;               // occupancy of the current round
   rng::Xoshiro256pp& gen;
+  /// True when fill hooks run concurrently (sharded, threads > 1):
+  /// auxiliary counters must use their thread-safe insertion path.
+  bool concurrent_fill = false;
 };
 
-/// An observer is any type with `after_round(view)` or, when it needs
-/// agent positions (node handles, not keys), `after_round(view, pos)`.
-template <typename O, typename Node>
-concept WalkObserverFor =
-    requires(O& o, const RoundView& v, std::span<const Node> pos) {
+using RoundView = BasicRoundView<CollisionCounter>;
+/// The sharded engine's view: same shape, lock-free counter.
+using ShardRoundView = BasicRoundView<ConcurrentCollisionCounter>;
+
+/// An observer is any type with at least one per-round hook:
+/// `after_round(view)`, `after_round(view, positions)` (node handles,
+/// not keys), or `end_round(round)`.  Optional hooks: `begin_round
+/// (round)` (serial, before the round's fills) and `fill(view)`
+/// (auxiliary occupancy counting between stepping and after_round).
+///
+/// The concept is checked against the *actual* view type each engine
+/// passes (RoundView for run_walk, ShardRoundView for run_walk_sharded):
+/// the notify helpers skip hooks a view type cannot call, so without
+/// this check an observer written against the wrong view would compile
+/// and silently record nothing.
+template <typename O, typename Node, typename View>
+concept WalkObserverForView =
+    requires(O& o, const View& v, std::span<const Node> pos,
+             std::uint32_t round) {
       requires requires { o.after_round(v); } ||
-                   requires { o.after_round(v, pos); };
+                   requires { o.after_round(v, pos); } ||
+                   requires { o.end_round(round); };
     };
+
+template <typename O, typename Node>
+concept WalkObserverFor = WalkObserverForView<O, Node, RoundView>;
 
 /// Per-agent cumulative collision counts — Algorithm 1's `c`, with the
 /// Section 6.1 sensing perturbations (detection misses, spurious
@@ -82,7 +122,29 @@ class CollisionObserver {
       : CollisionObserver(num_agents, Noise{}) {}
   CollisionObserver(std::uint32_t num_agents, Noise noise);
 
-  void after_round(const RoundView& v);
+  template <typename View>
+  void after_round(const View& v) {
+    ANTDENSE_ASSERT(v.num_agents == counts_.size(),
+                    "observer sized for a different agent count");
+    if (noise_.detection_miss == 0.0 && noise_.spurious == 0.0) {
+      for (std::uint32_t i = v.begin_agent; i < v.end_agent; ++i) {
+        counts_[i] += v.counter.occupancy(v.keys[i]) - 1;
+      }
+      return;
+    }
+    for (std::uint32_t i = v.begin_agent; i < v.end_agent; ++i) {
+      std::uint64_t others = v.counter.occupancy(v.keys[i]) - 1;
+      if (noise_.detection_miss > 0.0) {
+        // Each partner is detected independently w.p. 1-p: one binomial
+        // draw instead of the legacy per-partner Bernoulli loop.
+        others = rng::binomial(v.gen, others, 1.0 - noise_.detection_miss);
+      }
+      if (noise_.spurious > 0.0 && rng::bernoulli(v.gen, noise_.spurious)) {
+        ++others;
+      }
+      counts_[i] += others;
+    }
+  }
 
   const std::vector<std::uint64_t>& counts() const { return counts_; }
   std::vector<std::uint64_t> take_counts() { return std::move(counts_); }
@@ -93,12 +155,42 @@ class CollisionObserver {
 };
 
 /// Two-class counting for Section 5.2: total encounters and encounters
-/// with property-P agents, from the same walk.
+/// with property-P agents, from the same walk.  The property-occupancy
+/// counter is filled in the engine's fill phase (concurrently under the
+/// sharded engine) and read per agent in after_round.
 class PropertyObserver {
  public:
   explicit PropertyObserver(std::vector<bool> has_property);
 
-  void after_round(const RoundView& v);
+  void begin_round(std::uint32_t round);
+
+  template <typename View>
+  void fill(const View& v) {
+    ANTDENSE_ASSERT(v.num_agents == has_property_.size(),
+                    "observer sized for a different agent count");
+    if (v.concurrent_fill) {
+      for (std::uint32_t i = v.begin_agent; i < v.end_agent; ++i) {
+        if (has_property_[i]) {
+          prop_counter_.add(v.keys[i]);
+        }
+      }
+    } else {
+      for (std::uint32_t i = v.begin_agent; i < v.end_agent; ++i) {
+        if (has_property_[i]) {
+          prop_counter_.add_serial(v.keys[i]);
+        }
+      }
+    }
+  }
+
+  template <typename View>
+  void after_round(const View& v) {
+    for (std::uint32_t i = v.begin_agent; i < v.end_agent; ++i) {
+      total_counts_[i] += v.counter.occupancy(v.keys[i]) - 1;
+      const std::uint32_t prop_occ = prop_counter_.occupancy(v.keys[i]);
+      property_counts_[i] += prop_occ - (has_property_[i] ? 1 : 0);
+    }
+  }
 
   const std::vector<std::uint64_t>& total_counts() const {
     return total_counts_;
@@ -117,20 +209,22 @@ class PropertyObserver {
   std::vector<bool> has_property_;
   std::vector<std::uint64_t> total_counts_;
   std::vector<std::uint64_t> property_counts_;
-  CollisionCounter prop_counter_;
+  ConcurrentCollisionCounter prop_counter_;
 };
 
 /// Snapshots the running estimate c/r of the first `tracked_agents`
 /// agents at each checkpoint (Algorithm 1 is anytime).  Reads counts
 /// from a CollisionObserver, which must appear *before* this observer in
-/// the engine's pack so its counts are current.
+/// the engine's pack so its counts are current.  Snapshotting happens in
+/// the serial end_round hook because it reads counts across every
+/// shard's slice.
 class TrajectoryObserver {
  public:
   TrajectoryObserver(const CollisionObserver& source,
                      std::uint32_t tracked_agents,
                      std::vector<std::uint32_t> checkpoints);
 
-  void after_round(const RoundView& v);
+  void end_round(std::uint32_t round);
 
   const std::vector<std::uint32_t>& checkpoints() const {
     return checkpoints_;
@@ -157,13 +251,37 @@ namespace detail {
 /// 1-based, strictly increasing.
 void validate_checkpoints(const std::vector<std::uint32_t>& checkpoints);
 
-template <typename Obs, typename Node>
-inline void notify_after_round(Obs& obs, const RoundView& view,
+template <typename Obs>
+inline void notify_begin_round(Obs& obs, std::uint32_t round) {
+  if constexpr (requires { obs.begin_round(round); }) {
+    obs.begin_round(round);
+  }
+}
+
+template <typename Obs, typename View, typename Node>
+inline void notify_fill(Obs& obs, const View& view,
+                        std::span<const Node> positions) {
+  if constexpr (requires { obs.fill(view, positions); }) {
+    obs.fill(view, positions);
+  } else if constexpr (requires { obs.fill(view); }) {
+    obs.fill(view);
+  }
+}
+
+template <typename Obs, typename View, typename Node>
+inline void notify_after_round(Obs& obs, const View& view,
                                std::span<const Node> positions) {
   if constexpr (requires { obs.after_round(view, positions); }) {
     obs.after_round(view, positions);
-  } else {
+  } else if constexpr (requires { obs.after_round(view); }) {
     obs.after_round(view);
+  }
+}
+
+template <typename Obs>
+inline void notify_end_round(Obs& obs, std::uint32_t round) {
+  if constexpr (requires { obs.end_round(round); }) {
+    obs.end_round(round);
   }
 }
 
@@ -171,7 +289,7 @@ inline void notify_after_round(Obs& obs, const RoundView& view,
 
 /// Runs the synchronous round loop: place agents (uniform i.i.d., or the
 /// caller's `initial_positions`), step them `cfg.rounds` times, fill the
-/// occupancy counter, and fire every observer after each round.
+/// occupancy counter, and fire every observer hook after each round.
 /// `stream_seed` seeds the generator directly — callers that expose a
 /// user-facing seed derive their own stream tag first (see
 /// run_density_walk).  Deterministic in `stream_seed`.
@@ -220,10 +338,19 @@ void run_walk(const T& topo, const WalkConfig& cfg, std::uint64_t stream_seed,
     for (std::uint32_t i = 0; i < n_agents; ++i) {
       counter.add(keys[i]);
     }
-    const RoundView view{r, n_agents, std::span<const std::uint64_t>(keys),
-                         counter, gen};
-    (detail::notify_after_round(observers, view, std::span<const node>(pos)),
-     ...);
+    const RoundView view{r,
+                         0,
+                         n_agents,
+                         n_agents,
+                         std::span<const std::uint64_t>(keys),
+                         counter,
+                         gen,
+                         /*concurrent_fill=*/false};
+    const std::span<const node> positions(pos);
+    (detail::notify_begin_round(observers, r), ...);
+    (detail::notify_fill(observers, view, positions), ...);
+    (detail::notify_after_round(observers, view, positions), ...);
+    (detail::notify_end_round(observers, r), ...);
   }
 }
 

@@ -1,0 +1,109 @@
+#include "util/worker_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace antdense::util {
+
+WorkerPool::WorkerPool(unsigned num_threads) : num_threads_(num_threads) {
+  ANTDENSE_CHECK(num_threads >= 1, "worker pool needs at least one thread");
+  workers_.reserve(num_threads - 1);
+  for (unsigned w = 0; w + 1 < num_threads; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  // jthread joins on destruction.
+}
+
+void WorkerPool::work(std::uint64_t generation) {
+  // Snapshot under the caller's lock-release: fn_/num_tasks_ are stable
+  // for the whole generation (run() only mutates them under the mutex
+  // before bumping generation_ and after the done barrier).
+  const std::function<void(std::size_t)>* fn;
+  std::size_t num_tasks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (generation != generation_) {
+      return;  // stale wakeup; this generation is already over
+    }
+    fn = fn_;
+    num_tasks = num_tasks_;
+  }
+  while (true) {
+    const std::size_t i = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= num_tasks) {
+      return;
+    }
+    try {
+      (*fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+      // Abandon the rest of this run so the barrier resolves promptly.
+      next_task_.store(num_tasks, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    std::uint64_t generation;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) {
+        return;
+      }
+      generation = generation_;
+      seen_generation = generation;
+    }
+    work(generation);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--workers_active_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+void WorkerPool::run(std::size_t num_tasks,
+                     const std::function<void(std::size_t)>& fn) {
+  if (num_tasks == 0) {
+    return;
+  }
+  std::uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    num_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    workers_active_ = static_cast<unsigned>(workers_.size());
+    generation = ++generation_;
+  }
+  start_cv_.notify_all();
+  work(generation);  // the caller is one of the pool's threads
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+  fn_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace antdense::util

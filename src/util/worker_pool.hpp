@@ -1,0 +1,70 @@
+// Persistent worker pool for phase-structured parallelism.
+//
+// parallel_for (util/parallel.hpp) spawns and joins threads per call —
+// fine for coarse work like Monte Carlo trials, hopeless for the
+// sharded walk engine, which needs two synchronized parallel phases
+// *per round* (step/count, then observe) across thousands of rounds.
+// WorkerPool keeps its std::jthread workers alive across run() calls so
+// a phase costs a condition-variable wake instead of a thread spawn.
+//
+// Each run(num_tasks, fn) invokes fn(i) for every i in [0, num_tasks)
+// exactly once, handing indices out through an atomic counter (shards
+// can have uneven cost), and returns only after every task has
+// finished — run() is a full barrier, which is what makes the engine's
+// "no shard observes round r until every shard has counted round r"
+// invariant hold.  The calling thread participates in the work, so a
+// pool constructed with N threads runs N-wide using N-1 workers.
+//
+// The first exception thrown by any task is rethrown from run() after
+// the barrier; remaining indices of that run are abandoned.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace antdense::util {
+
+class WorkerPool {
+ public:
+  /// Creates a pool that runs `num_threads` wide (>= 1; the calling
+  /// thread counts as one, so num_threads - 1 workers are spawned).
+  explicit WorkerPool(unsigned num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned num_threads() const { return num_threads_; }
+
+  /// Runs fn(i) for every i in [0, num_tasks), full barrier on return.
+  /// fn must be safe to call concurrently for distinct indices.  Not
+  /// reentrant: fn must not call run() on the same pool.
+  void run(std::size_t num_tasks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void work(std::uint64_t generation);
+
+  const unsigned num_threads_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  // bumped by run() to release workers
+  std::size_t num_tasks_ = 0;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::atomic<std::size_t> next_task_{0};
+  unsigned workers_active_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace antdense::util

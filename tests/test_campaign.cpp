@@ -23,6 +23,7 @@
 #include "campaign/spec.hpp"
 #include "scenario/registry.hpp"
 #include "util/json.hpp"
+#include "util/parallel.hpp"
 
 namespace antdense {
 namespace {
@@ -320,6 +321,90 @@ TEST(CampaignScheduler, JournalBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(lines1, sorted_lines(path4));
   std::remove(path1.c_str());
   std::remove(path4.c_str());
+}
+
+TEST(CampaignScheduler, InnerThreadsDoNotChangeTheJournal) {
+  // Within-experiment parallelism (inner_threads -> ScenarioSpec::
+  // threads) is a pure resource knob: the journal must be bit-identical
+  // to the historical single-threaded-experiment regime.
+  const CampaignSpec camp = parse_campaign(R"({
+    "name": "inner",
+    "seed": 11,
+    "base": {"engine": "sharded", "trials": 1},
+    "axes": [
+      {"kind": "grid", "key": "topology",
+       "values": ["ring:64", "complete:32"]},
+      {"kind": "grid", "key": "agents", "values": [6, 10]},
+      {"kind": "grid", "key": "rounds", "values": [4]}
+    ]})");
+  const std::string path1 = temp_path("campaign_inner_t1.jsonl");
+  const std::string path4 = temp_path("campaign_inner_t4.jsonl");
+  RunOptions plain;
+  plain.threads = 2;
+  RunOptions wide;
+  wide.threads = 2;
+  wide.inner_threads = 4;
+  wide.on_diagnostic = [](const std::string&) {};  // clamp is expected
+  campaign::run_campaign(camp, path1, plain);
+  campaign::run_campaign(camp, path4, wide);
+  EXPECT_EQ(sorted_lines(path1), sorted_lines(path4));
+  std::remove(path1.c_str());
+  std::remove(path4.c_str());
+}
+
+TEST(CampaignScheduler, OverbudgetThreadRequestsAreClampedLoudly) {
+  const CampaignSpec camp = parse_campaign(R"({
+    "name": "clamp",
+    "base": {"agents": 6, "rounds": 3, "trials": 1},
+    "axes": [
+      {"kind": "grid", "key": "seed", "values": [1, 2, 3]}
+    ]})");
+  const unsigned hardware = util::default_thread_count();
+  const std::string path = temp_path("campaign_clamp.jsonl");
+  RunOptions options;
+  // Guaranteed overbudget on any machine: hw workers x (hw + 1) inner.
+  options.threads = hardware;
+  options.inner_threads = hardware + 1;
+  std::vector<std::string> diagnostics;
+  options.on_diagnostic = [&](const std::string& message) {
+    diagnostics.push_back(message);
+  };
+  const RunReport report = campaign::run_campaign(camp, path, options);
+  EXPECT_EQ(report.executed, 3u);  // clamped, not failed
+  ASSERT_FALSE(diagnostics.empty());
+  bool mentions_clamp = false;
+  for (const std::string& message : diagnostics) {
+    if (message.find("clamp") != std::string::npos &&
+        message.find("hardware_concurrency") != std::string::npos) {
+      mentions_clamp = true;
+    }
+  }
+  EXPECT_TRUE(mentions_clamp) << diagnostics.front();
+  std::remove(path.c_str());
+}
+
+TEST(CampaignScheduler, WorkerOversubscriptionIsAllowedButReported) {
+  // inner_threads == 1 keeps the historical regime: N workers run even
+  // on fewer cores (differential tests depend on real multi-worker
+  // interleaving), but the scheduler now says so.
+  const CampaignSpec camp = parse_campaign(R"({
+    "name": "over",
+    "base": {"agents": 6, "rounds": 3, "trials": 1},
+    "axes": [
+      {"kind": "grid", "key": "seed", "values": [1, 2, 3, 4]}
+    ]})");
+  const std::string path = temp_path("campaign_over.jsonl");
+  RunOptions options;
+  options.threads = util::default_thread_count() + 3;
+  std::vector<std::string> diagnostics;
+  options.on_diagnostic = [&](const std::string& message) {
+    diagnostics.push_back(message);
+  };
+  const RunReport report = campaign::run_campaign(camp, path, options);
+  EXPECT_EQ(report.executed, 4u);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_NE(diagnostics[0].find("oversubscribed"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(CampaignScheduler, InterruptedRunResumesToTheSameJournal) {

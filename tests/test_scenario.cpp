@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -23,7 +24,10 @@
 namespace antdense {
 namespace {
 
+using scenario::EngineMode;
+using scenario::engine_mode_name;
 using scenario::Experiment;
+using scenario::parse_engine_mode;
 using scenario::Registry;
 using scenario::ScenarioResult;
 using scenario::ScenarioSpec;
@@ -295,12 +299,52 @@ TEST(ScenarioSpecIdentity, SubstantiveFieldsDoSplitTheIdentity) {
                       +[](ScenarioSpec& s) { s.seed += 1; },
                       +[](ScenarioSpec& s) { s.lazy_probability = 0.5; },
                       +[](ScenarioSpec& s) {
+                        s.engine = EngineMode::kSharded;
+                      },
+                      +[](ScenarioSpec& s) {
                         s.workload = Workload::kProperty;
                       }}) {
     ScenarioSpec changed = base;
     mutate(changed);
     EXPECT_NE(changed.identity_hash(reg), base.identity_hash(reg));
   }
+}
+
+// ---------------------------------------------------------------------
+// Engine mode: parsing, round-trip, identity
+// ---------------------------------------------------------------------
+
+TEST(EngineMode, ParsesAndNamesBothModes) {
+  EXPECT_EQ(parse_engine_mode("single"), EngineMode::kSingleStream);
+  EXPECT_EQ(parse_engine_mode("sharded"), EngineMode::kSharded);
+  EXPECT_EQ(engine_mode_name(EngineMode::kSingleStream), "single");
+  EXPECT_EQ(engine_mode_name(EngineMode::kSharded), "sharded");
+  EXPECT_THROW(parse_engine_mode("warp"), std::invalid_argument);
+  EXPECT_THROW(parse_engine_mode(""), std::invalid_argument);
+}
+
+TEST(EngineMode, RoundTripsThroughFlagsAndJson) {
+  const char* argv[] = {"prog", "--engine=sharded"};
+  const ScenarioSpec from_flags =
+      ScenarioSpec::from_args(util::Args(2, argv));
+  EXPECT_EQ(from_flags.engine, EngineMode::kSharded);
+
+  const ScenarioSpec from_json = ScenarioSpec::from_json(
+      util::JsonValue::parse(R"({"engine": "sharded"})"));
+  EXPECT_EQ(from_json.engine, EngineMode::kSharded);
+
+  // to_json emits the mode, and parsing it back preserves it.
+  const ScenarioSpec back = ScenarioSpec::from_json(from_json.to_json());
+  EXPECT_EQ(back.engine, EngineMode::kSharded);
+
+  const ScenarioSpec defaulted;
+  EXPECT_EQ(defaulted.engine, EngineMode::kSingleStream);
+  EXPECT_EQ(defaulted.to_json().find("engine")->as_string(), "single");
+}
+
+TEST(EngineMode, IsInTheSpecVocabulary) {
+  const std::vector<std::string> keys = ScenarioSpec::key_names();
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "engine"), keys.end());
 }
 
 // ---------------------------------------------------------------------
@@ -444,7 +488,7 @@ TEST(BallDensity, MatchesTorus2DLocalDensityObserverExactly) {
     SCOPED_TRACE(radius);
     const std::vector<std::uint32_t> checkpoints = {1, 4, 9};
     sim::LocalDensityObserver specialized(torus, radius, checkpoints);
-    scenario::BallDensityObserver generic(any, radius, checkpoints);
+    scenario::BallDensityObserver generic(any, radius, checkpoints, 35);
     sim::WalkConfig cfg;
     cfg.num_agents = 35;
     cfg.rounds = checkpoints.back();
