@@ -8,6 +8,12 @@
 // table and writing the same records to a JSON artifact (default
 // BENCH_engine.json) for CI trending.
 //
+// Besides the four explicit families, one cell per implicit family
+// (rgg2d / gnp / ba) rides along with a step budget scaled to its
+// honest per-query cost — O(deg) cell-window scan for rgg2d, O(n) row
+// scan for gnp, O(m) edge scan for ba — plus a resident-set column
+// that documents the O(agents) memory the implicit layer promises.
+//
 // Flags:
 //   --out=PATH        JSON output path (default BENCH_engine.json)
 //   --tiny            CI smoke mode: small sizes, one rep, seconds total
@@ -29,7 +35,10 @@
 #include "bench_common.hpp"
 #include "bench_json.hpp"
 #include "graph/any_topology.hpp"
+#include "graph/ba.hpp"
+#include "graph/gnp.hpp"
 #include "graph/hypercube.hpp"
+#include "graph/rgg2d.hpp"
 #include "graph/ring.hpp"
 #include "graph/torus2d.hpp"
 #include "graph/torus_kd.hpp"
@@ -48,6 +57,7 @@ struct Cell {
   double legacy_ns = 0.0;
   double engine_ns = 0.0;
   double any_ns = 0.0;  // engine driven through graph::AnyTopology
+  std::uint64_t peak_rss = 0;  // process high-water RSS after this cell
 };
 
 /// Best-of-`reps` ns/agent-round for one stepping path.
@@ -98,6 +108,7 @@ Cell measure_cell(const T& topo, std::uint32_t agents, std::uint64_t budget,
                           .collision_counts[0];
       },
       agents, cfg.rounds, reps);
+  cell.peak_rss = bench::peak_rss_bytes();
   return cell;
 }
 
@@ -141,9 +152,35 @@ int main(int argc, char** argv) {
         measure_cell(graph::TorusKD(3, side3), agents, budget, reps));
   }
 
+  // One cell per implicit family, step budget scaled to the family's
+  // per-query cost so each cell times in seconds, not minutes.  rgg2d
+  // answers a neighbor query from an O(deg) cell-window scan, so it
+  // takes the full budget; gnp scans its whole O(n) row and ba its
+  // whole O(m) edge list per query, so their budgets shrink to match.
+  {
+    const std::uint32_t implicit_agents = tiny ? 200 : 1000;
+    const auto rgg_nodes = static_cast<std::uint64_t>(implicit_agents) * 10;
+    // ~8 expected neighbors; rounded so the topology label stays short.
+    const double radius =
+        std::round(1e4 * std::sqrt(8.0 / (3.14159265358979323846 *
+                                          static_cast<double>(rgg_nodes)))) /
+        1e4;
+    cells.push_back(measure_cell(graph::Rgg2D(rgg_nodes, radius, 7),
+                                 implicit_agents,
+                                 std::max<std::uint64_t>(1, budget / 10),
+                                 reps));
+    cells.push_back(measure_cell(graph::Gnp(2000, 0.004, 7),
+                                 implicit_agents,
+                                 std::max<std::uint64_t>(1, budget / 100),
+                                 reps));
+    cells.push_back(measure_cell(graph::Ba(2000, 4, 7), implicit_agents,
+                                 std::max<std::uint64_t>(1, budget / 400),
+                                 reps));
+  }
+
   util::Table table({"topology", "agents", "rounds", "legacy ns/step",
                      "engine ns/step", "any ns/step", "speedup",
-                     "erasure overhead"});
+                     "erasure overhead", "peak rss MiB"});
   std::vector<bench::BenchRecord> records;
   for (const Cell& c : cells) {
     table.add_row({c.topology, util::format_count(c.agents),
@@ -152,13 +189,24 @@ int main(int argc, char** argv) {
                    util::format_fixed(c.engine_ns, 2),
                    util::format_fixed(c.any_ns, 2),
                    util::format_fixed(c.legacy_ns / c.engine_ns, 3),
-                   util::format_fixed(c.any_ns / c.engine_ns, 3)});
-    records.push_back({"legacy", c.topology, c.agents, c.rounds,
-                       c.legacy_ns});
-    records.push_back({"engine", c.topology, c.agents, c.rounds,
-                       c.engine_ns});
-    records.push_back({"anytopology", c.topology, c.agents, c.rounds,
-                       c.any_ns});
+                   util::format_fixed(c.any_ns / c.engine_ns, 3),
+                   util::format_fixed(
+                       static_cast<double>(c.peak_rss) / (1024.0 * 1024.0),
+                       1)});
+    bench::BenchRecord base;
+    base.topology = c.topology;
+    base.agents = c.agents;
+    base.rounds = c.rounds;
+    base.peak_rss_bytes = c.peak_rss;
+    base.name = "legacy";
+    base.ns_per_agent_round = c.legacy_ns;
+    records.push_back(base);
+    base.name = "engine";
+    base.ns_per_agent_round = c.engine_ns;
+    records.push_back(base);
+    base.name = "anytopology";
+    base.ns_per_agent_round = c.any_ns;
+    records.push_back(base);
   }
   table.print_markdown(std::cout);
 

@@ -7,7 +7,27 @@
 #include "util/check.hpp"
 #include "util/json.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace antdense::bench {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 std::string to_json(const std::vector<BenchRecord>& records) {
   util::JsonValue doc = util::JsonValue::array();
@@ -25,6 +45,9 @@ std::string to_json(const std::vector<BenchRecord>& records) {
     }
     if (r.hardware_threads != 0) {
       rec.set("hardware_threads", r.hardware_threads);
+    }
+    if (r.peak_rss_bytes != 0) {
+      rec.set("peak_rss_bytes", r.peak_rss_bytes);
     }
     doc.push_back(std::move(rec));
   }

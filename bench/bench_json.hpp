@@ -9,12 +9,17 @@
 //     "rounds": int,
 //     "ns_per_agent_round": float,
 //     "threads": int,              // optional: worker threads used
-//     "hardware_threads": int }    // optional: cores on the bench host
+//     "hardware_threads": int,     // optional: cores on the bench host
+//     "peak_rss_bytes": int }      // optional: process high-water RSS
 //
-// The two optional fields (emitted only when a bench sets them nonzero)
+// The optional fields (emitted only when a bench sets them nonzero)
 // let multi-threaded benches like bench_shard record how wide they ran
 // and how wide the host was — a "sharded/t8" row on a 4-core CI runner
-// or a 1-core container is meaningless without them.
+// or a 1-core container is meaningless without them — and let benches
+// over implicit topologies record the resident-set high-water mark, the
+// number that proves an O(agents)-memory substrate stayed that way.
+// peak_rss_bytes is the getrusage high-water mark at the time the cell
+// finished, so within one process it is monotone across records.
 //
 // Serialization rides on the shared in-repo writer (util/json.hpp) — no
 // external JSON dependency — which escapes strings and rejects
@@ -35,7 +40,12 @@ struct BenchRecord {
   double ns_per_agent_round = 0.0;
   std::uint64_t threads = 0;           // 0 = not recorded
   std::uint64_t hardware_threads = 0;  // 0 = not recorded
+  std::uint64_t peak_rss_bytes = 0;    // 0 = not recorded
 };
+
+/// Process peak resident set in bytes via getrusage, or 0 when the
+/// platform cannot report it.  Monotone over the process lifetime.
+std::uint64_t peak_rss_bytes();
 
 /// Serializes the records as a pretty-printed JSON array.  Throws
 /// std::invalid_argument on non-finite timings (never emits NaN/Inf).

@@ -1,0 +1,70 @@
+// Per-node / per-edge randomness derivation for the implicit topology
+// generators (graph/rgg2d.hpp, graph/gnp.hpp, graph/ba.hpp).
+//
+// The implicit families never store a neighbor list: every adjacency
+// query recomputes the generator's randomness from (user seed, domain
+// tag, entity index) through the same SplitMix64-based derive_seed
+// machinery the sharded engine uses for its per-shard streams
+// (rng/stream.hpp).  Two properties are contractual and pinned by
+// tests/test_implicit_golden.cpp:
+//
+//   1. Stability: every derivation below is pure 64-bit integer
+//      arithmetic, so an implicit neighborhood is the same on every
+//      platform, compiler, and release.  Changing any function or tag
+//      here re-goldens every implicit-topology walk ever recorded —
+//      treat a golden failure as a contract break, not a test to update.
+//   2. Domain separation: each family owns an 8-byte ASCII tag, so a
+//      node's RGG jitter can never collide with a GNP edge word or a BA
+//      attachment stream derived from the same user seed, nor with the
+//      engine's shard streams (kShardStreamTag) or the campaign/driver
+//      tags.
+//
+// Paper: Musco, Su & Lynch (PODC 2016, arXiv:1603.02981).  The layer is
+// modeled on KaGen's communication-free generators (Funke et al.), where
+// recomputable per-chunk randomness replaces stored adjacency.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/splitmix64.hpp"
+
+namespace antdense::graph::implicit_hash {
+
+/// "RGGJITTR": per-node position jitter of the 2-D random geometric
+/// graph — one 64-bit word per node, split into a 32-bit jitter per
+/// axis.
+inline constexpr std::uint64_t kRgg2DJitterTag = 0x5247474A49545452ULL;
+
+/// "GNPEDGEW": per-unordered-pair edge word of G(n, p) — compared
+/// against the quantized edge threshold.
+inline constexpr std::uint64_t kGnpEdgeTag = 0x474E504544474557ULL;
+
+/// "BAATTACH": per-edge attachment stream of the Batagelj–Brandes
+/// Barabási–Albert construction — seeds the SplitMix64 stream that
+/// draws the edge's uniform array position (with Lemire rejection).
+inline constexpr std::uint64_t kBaAttachTag = 0x4241415454414348ULL;
+
+/// Node `u`'s jitter word in an RGG rooted at `seed`: low 32 bits are
+/// the x jitter, high 32 bits the y jitter (cell-relative fixed point).
+constexpr std::uint64_t rgg2d_jitter_word(std::uint64_t seed,
+                                          std::uint64_t node) {
+  return rng::derive_seed(seed, kRgg2DJitterTag, node);
+}
+
+/// The edge word of unordered pair {a, b} in G(n, p) rooted at `seed`.
+/// Callers pass the canonical orientation a < b, so both endpoints
+/// recompute the identical word and the graph is symmetric by
+/// construction.
+constexpr std::uint64_t gnp_edge_word(std::uint64_t seed, std::uint64_t a,
+                                      std::uint64_t b) {
+  return rng::derive_seed(seed, kGnpEdgeTag, a, b);
+}
+
+/// Seed of edge `j`'s private attachment stream in a Barabási–Albert
+/// graph rooted at `seed`.
+constexpr std::uint64_t ba_attach_seed(std::uint64_t seed,
+                                       std::uint64_t edge) {
+  return rng::derive_seed(seed, kBaAttachTag, edge);
+}
+
+}  // namespace antdense::graph::implicit_hash

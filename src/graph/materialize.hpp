@@ -1,0 +1,95 @@
+// Materializes any Topology with neighbor enumeration into an explicit
+// CSR Graph — the reference object of the implicit-generator
+// differential suite (tests/test_implicit_differential.cpp): an implicit
+// family is sampled on the fly, its materialization is walked through
+// ExplicitTopology, and the two must agree on edge set, degree sequence,
+// and sampling distribution.
+//
+// Faithful to multigraph semantics: an edge of multiplicity k appears k
+// times, and a self-loop appears twice in its node's own neighbor
+// multiset (the Graph::from_edges convention, which graph/ba.hpp also
+// follows).  Symmetry is verified, not assumed — an implicit generator
+// whose u->v and v->u views disagree is exactly the bug this layer
+// exists to catch, so materialize() throws rather than papering over it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/check.hpp"
+
+namespace antdense::graph {
+
+template <typename T>
+Graph materialize(const T& topo) {
+  const std::uint64_t n = topo.num_nodes();
+  ANTDENSE_CHECK(n <= std::numeric_limits<std::uint32_t>::max(),
+                 "materialize: graph too large for explicit vertex ids");
+  std::vector<std::vector<std::uint32_t>> adjacency(n);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    topo.for_each_neighbor(
+        static_cast<typename T::node_type>(u), [&](auto v) {
+          const auto vid = static_cast<std::uint64_t>(v);
+          ANTDENSE_CHECK(vid < n, "materialize: neighbor id out of range");
+          adjacency[u].push_back(static_cast<std::uint32_t>(vid));
+        });
+    std::sort(adjacency[u].begin(), adjacency[u].end());
+  }
+
+  const auto multiplicity = [&](std::uint64_t u, std::uint32_t v) {
+    const auto [lo, hi] =
+        std::equal_range(adjacency[u].begin(), adjacency[u].end(), v);
+    return static_cast<std::uint64_t>(hi - lo);
+  };
+
+  std::vector<std::pair<Graph::vertex, Graph::vertex>> edges;
+  for (std::uint64_t u = 0; u < n; ++u) {
+    std::size_t i = 0;
+    while (i < adjacency[u].size()) {
+      const std::uint32_t v = adjacency[u][i];
+      const std::uint64_t count = multiplicity(u, v);
+      i += count;
+      if (v < u) {
+        continue;  // counted from the other endpoint
+      }
+      if (v == u) {
+        // A self-loop occupies two slots of its own multiset.
+        ANTDENSE_CHECK(count % 2 == 0,
+                       "materialize: node " + std::to_string(u) +
+                           " lists itself an odd number of times");
+        for (std::uint64_t k = 0; k < count / 2; ++k) {
+          edges.emplace_back(static_cast<Graph::vertex>(u),
+                             static_cast<Graph::vertex>(u));
+        }
+        continue;
+      }
+      ANTDENSE_CHECK(
+          multiplicity(v, u) == count,
+          "materialize: asymmetric adjacency between nodes " +
+              std::to_string(u) + " and " + std::to_string(v));
+      for (std::uint64_t k = 0; k < count; ++k) {
+        edges.emplace_back(static_cast<Graph::vertex>(u),
+                           static_cast<Graph::vertex>(v));
+      }
+    }
+  }
+  // The v < u skip above assumed symmetry; a neighbor listed only on the
+  // lower side would vanish silently, so re-check from that side too.
+  for (std::uint64_t u = 0; u < n; ++u) {
+    for (std::size_t i = 0; i < adjacency[u].size();) {
+      const std::uint32_t v = adjacency[u][i];
+      i += multiplicity(u, v);
+      ANTDENSE_CHECK(v >= u || multiplicity(v, u) == multiplicity(u, v),
+                     "materialize: asymmetric adjacency between nodes " +
+                         std::to_string(v) + " and " + std::to_string(u));
+    }
+  }
+  return Graph::from_edges(static_cast<std::uint32_t>(n), edges);
+}
+
+}  // namespace antdense::graph

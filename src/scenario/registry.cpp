@@ -5,62 +5,116 @@
 #include <memory>
 #include <utility>
 
+#include "graph/ba.hpp"
 #include "graph/complete.hpp"
 #include "graph/explicit_topology.hpp"
 #include "graph/generators.hpp"
+#include "graph/gnp.hpp"
 #include "graph/graph.hpp"
 #include "graph/hypercube.hpp"
 #include "graph/ring.hpp"
+#include "graph/rgg2d.hpp"
 #include "graph/torus2d.hpp"
 #include "graph/torus_kd.hpp"
 #include "util/check.hpp"
+#include "util/format.hpp"
 
 namespace antdense::scenario {
 
 namespace {
 
+// Diagnostics contract (see tests/test_scenario.cpp): every parse error
+// names the family AND the offending key=value, so a failed sweep axis
+// is attributable from the message alone.
+
+[[noreturn]] void throw_param_error(const std::string& family,
+                                    const std::string& detail) {
+  throw std::invalid_argument("topology spec '" + family + "': " + detail);
+}
+
 /// Strict uint parse: the whole token must be digits (no sign, no
 /// trailing garbage) so "64x64x3" or "1e4" fail loudly.
-std::uint64_t parse_u64(const std::string& token, const std::string& what) {
+std::uint64_t parse_u64(const std::string& family, const std::string& key,
+                        const std::string& token) {
   std::uint64_t value = 0;
   const char* begin = token.data();
   const char* end = begin + token.size();
   const auto [ptr, ec] = std::from_chars(begin, end, value);
-  ANTDENSE_CHECK(!token.empty() && ec == std::errc{} && ptr == end,
-                 "topology spec: expected an unsigned integer for " + what +
-                     ", got '" + token + "'");
+  if (token.empty() || ec != std::errc{} || ptr != end) {
+    throw_param_error(family, "parameter '" + key + "=" + token +
+                                  "': expected an unsigned integer");
+  }
+  return value;
+}
+
+/// Strict double parse for real-valued generator parameters.
+double parse_f64(const std::string& family, const std::string& key,
+                 const std::string& token) {
+  double value = 0.0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (token.empty() || ec != std::errc{} || ptr != end) {
+    throw_param_error(family, "parameter '" + key + "=" + token +
+                                  "': expected a real number");
+  }
   return value;
 }
 
 /// parse_u64 narrowed to the 32-bit constructor parameters; out-of-range
 /// values throw instead of silently wrapping to a different substrate.
-std::uint32_t narrow_u32(std::uint64_t value, const std::string& what) {
-  ANTDENSE_CHECK(value <= std::numeric_limits<std::uint32_t>::max(),
-                 "topology spec: " + what + " value " +
-                     std::to_string(value) + " exceeds the 32-bit range");
+std::uint32_t narrow_u32(const std::string& family, const std::string& key,
+                         std::uint64_t value) {
+  if (value > std::numeric_limits<std::uint32_t>::max()) {
+    throw_param_error(family, "parameter '" + key + "=" +
+                                  std::to_string(value) +
+                                  "': exceeds the 32-bit range");
+  }
   return static_cast<std::uint32_t>(value);
 }
 
 /// Splits "AxB" into two strict uints.
-std::pair<std::uint64_t, std::uint64_t> parse_pair(const std::string& params,
-                                                   const std::string& what) {
+std::pair<std::uint64_t, std::uint64_t> parse_pair(const std::string& family,
+                                                   const std::string& what,
+                                                   const std::string& params) {
   const auto x = params.find('x');
-  ANTDENSE_CHECK(x != std::string::npos,
-                 "topology spec: expected '" + what + "', got '" + params +
-                     "'");
-  return {parse_u64(params.substr(0, x), what),
-          parse_u64(params.substr(x + 1), what)};
+  if (x == std::string::npos) {
+    throw_param_error(family,
+                      "expected '" + what + "', got '" + params + "'");
+  }
+  const auto lhs = what.substr(0, what.find('x'));
+  const auto rhs = what.substr(what.find('x') + 1);
+  return {parse_u64(family, lhs, params.substr(0, x)),
+          parse_u64(family, rhs, params.substr(x + 1))};
 }
 
-/// Parses "k=v,k=v" with exactly the keys in `keys` (later duplicates
-/// win); `required` marks which must be present, others default to
-/// `defaults`.
-std::vector<std::uint64_t> parse_kv(const std::string& params,
-                                    const std::vector<std::string>& keys,
-                                    const std::vector<bool>& required,
-                                    const std::vector<std::uint64_t>& defaults) {
-  std::vector<std::uint64_t> values = defaults;
-  std::vector<bool> seen(keys.size(), false);
+/// One typed field of a "k=v,k=v" parameter list.
+struct KvField {
+  enum class Kind { kU64, kF64 };
+  std::string key;
+  Kind kind = Kind::kU64;
+  bool required = false;
+  std::uint64_t u64_default = 0;
+  double f64_default = 0.0;
+};
+
+struct KvValues {
+  std::vector<std::uint64_t> u64s;  // indexed like the field schema
+  std::vector<double> f64s;
+};
+
+/// Parses "k=v,k=v" against a typed schema (later duplicates win).
+/// Every diagnostic carries the family and the offending key=value.
+KvValues parse_kv(const std::string& family, const std::string& params,
+                  const std::vector<KvField>& fields) {
+  KvValues values;
+  values.u64s.resize(fields.size());
+  values.f64s.resize(fields.size());
+  std::vector<bool> seen(fields.size(), false);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    values.u64s[i] = fields[i].u64_default;
+    values.f64s[i] = fields[i].f64_default;
+  }
   std::size_t start = 0;
   while (start <= params.size()) {
     const std::size_t comma = params.find(',', start);
@@ -68,30 +122,64 @@ std::vector<std::uint64_t> parse_kv(const std::string& params,
         params.substr(start, comma == std::string::npos ? std::string::npos
                                                         : comma - start);
     const std::size_t eq = item.find('=');
-    ANTDENSE_CHECK(eq != std::string::npos,
-                   "topology spec: expected key=value, got '" + item + "'");
+    if (eq == std::string::npos) {
+      throw_param_error(family, "expected key=value, got '" + item + "'");
+    }
     const std::string key = item.substr(0, eq);
+    const std::string token = item.substr(eq + 1);
     bool matched = false;
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      if (keys[i] == key) {
-        values[i] = parse_u64(item.substr(eq + 1), key);
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (fields[i].key == key) {
+        if (fields[i].kind == KvField::Kind::kU64) {
+          values.u64s[i] = parse_u64(family, key, token);
+        } else {
+          values.f64s[i] = parse_f64(family, key, token);
+        }
         seen[i] = true;
         matched = true;
         break;
       }
     }
-    ANTDENSE_CHECK(matched, "topology spec: unknown parameter '" + key + "'");
+    if (!matched) {
+      std::string known;
+      for (const auto& f : fields) {
+        known += (known.empty() ? "" : ", ") + f.key;
+      }
+      throw_param_error(family, "unknown parameter '" + key + "=" + token +
+                                    "' (expected: " + known + ")");
+    }
     if (comma == std::string::npos) {
       break;
     }
     start = comma + 1;
   }
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    ANTDENSE_CHECK(!required[i] || seen[i],
-                   "topology spec: missing required parameter '" + keys[i] +
-                       "'");
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].required && !seen[i]) {
+      throw_param_error(family, "missing required parameter '" +
+                                    fields[i].key + "'");
+    }
   }
   return values;
+}
+
+/// Range guard whose message carries family, key, and value.
+void check_range(bool ok, const std::string& family, const std::string& key,
+                 const std::string& value, const std::string& expectation) {
+  if (!ok) {
+    throw_param_error(family, "parameter '" + key + "=" + value +
+                                  "': " + expectation);
+  }
+}
+
+KvField u64_field(std::string key, bool required,
+                  std::uint64_t fallback = 0) {
+  return {.key = std::move(key), .kind = KvField::Kind::kU64,
+          .required = required, .u64_default = fallback};
+}
+
+KvField f64_field(std::string key, bool required, double fallback = 0.0) {
+  return {.key = std::move(key), .kind = KvField::Kind::kF64,
+          .required = required, .f64_default = fallback};
 }
 
 Registry make_built_in() {
@@ -101,42 +189,46 @@ Registry make_built_in() {
       "torus2d",
       {.make =
            [](const std::string& params) {
-             const auto [w, h] = parse_pair(params, "WIDTHxHEIGHT");
-             return graph::AnyTopology(graph::Torus2D(
-                 narrow_u32(w, "width"), narrow_u32(h, "height")));
+             const auto [w, h] = parse_pair("torus2d", "WIDTHxHEIGHT", params);
+             return graph::AnyTopology(
+                 graph::Torus2D(narrow_u32("torus2d", "WIDTH", w),
+                                narrow_u32("torus2d", "HEIGHT", h)));
            },
        .canonical =
            [](const std::string& params) {
-             const auto [w, h] = parse_pair(params, "WIDTHxHEIGHT");
+             const auto [w, h] = parse_pair("torus2d", "WIDTHxHEIGHT", params);
              return "torus2d:" + std::to_string(w) + "x" + std::to_string(h);
            },
        .grammar = "torus2d:WIDTHxHEIGHT (2-D torus, Section 2; "
                   "e.g. torus2d:64x64)"});
 
   reg.register_family(
-      "ring", {.make =
-                   [](const std::string& params) {
-                     return graph::AnyTopology(
-                         graph::Ring(parse_u64(params, "NODES")));
-                   },
-               .canonical =
-                   [](const std::string& params) {
-                     return "ring:" +
-                            std::to_string(parse_u64(params, "NODES"));
-                   },
-               .grammar = "ring:NODES (1-D torus, Section 4.2; "
-                          "e.g. ring:10000)"});
+      "ring",
+      {.make =
+           [](const std::string& params) {
+             return graph::AnyTopology(
+                 graph::Ring(parse_u64("ring", "NODES", params)));
+           },
+       .canonical =
+           [](const std::string& params) {
+             return "ring:" +
+                    std::to_string(parse_u64("ring", "NODES", params));
+           },
+       .grammar = "ring:NODES (1-D torus, Section 4.2; "
+                  "e.g. ring:10000)"});
 
   reg.register_family(
       "hypercube",
       {.make =
            [](const std::string& params) {
-             return graph::AnyTopology(graph::Hypercube(
-                 narrow_u32(parse_u64(params, "DIMS"), "DIMS")));
+             return graph::AnyTopology(graph::Hypercube(narrow_u32(
+                 "hypercube", "DIMS",
+                 parse_u64("hypercube", "DIMS", params))));
            },
        .canonical =
            [](const std::string& params) {
-             return "hypercube:" + std::to_string(parse_u64(params, "DIMS"));
+             return "hypercube:" +
+                    std::to_string(parse_u64("hypercube", "DIMS", params));
            },
        .grammar = "hypercube:DIMS (k-dim hypercube, Section 4.5; "
                   "e.g. hypercube:14)"});
@@ -145,13 +237,14 @@ Registry make_built_in() {
       "toruskd",
       {.make =
            [](const std::string& params) {
-             const auto [k, side] = parse_pair(params, "DIMSxSIDE");
-             return graph::AnyTopology(graph::TorusKD(
-                 narrow_u32(k, "DIMS"), narrow_u32(side, "SIDE")));
+             const auto [k, side] = parse_pair("toruskd", "DIMSxSIDE", params);
+             return graph::AnyTopology(
+                 graph::TorusKD(narrow_u32("toruskd", "DIMS", k),
+                                narrow_u32("toruskd", "SIDE", side)));
            },
        .canonical =
            [](const std::string& params) {
-             const auto [k, side] = parse_pair(params, "DIMSxSIDE");
+             const auto [k, side] = parse_pair("toruskd", "DIMSxSIDE", params);
              return "toruskd:" + std::to_string(k) + "x" +
                     std::to_string(side);
            },
@@ -163,43 +256,132 @@ Registry make_built_in() {
       {.make =
            [](const std::string& params) {
              return graph::AnyTopology(
-                 graph::CompleteGraph(parse_u64(params, "NODES")));
+                 graph::CompleteGraph(parse_u64("complete", "NODES", params)));
            },
        .canonical =
            [](const std::string& params) {
-             return "complete:" + std::to_string(parse_u64(params, "NODES"));
+             return "complete:" +
+                    std::to_string(parse_u64("complete", "NODES", params));
            },
        .grammar = "complete:NODES (complete graph, Section 1.1; "
                   "e.g. complete:4096)"});
 
-  const std::vector<std::string> expander_keys = {"d", "n", "seed"};
-  const std::vector<bool> expander_required = {true, true, false};
-  const std::vector<std::uint64_t> expander_defaults = {0, 0, 1};
+  const std::vector<KvField> expander_fields = {
+      u64_field("d", true), u64_field("n", true), u64_field("seed", false, 1)};
   reg.register_family(
       "expander",
       {.make =
            [=](const std::string& params) {
-             const auto v = parse_kv(params, expander_keys,
-                                     expander_required, expander_defaults);
+             const auto v = parse_kv("expander", params, expander_fields);
              // The explicit graph is owned by the handle (payload), so
              // the spec string is the only lifetime the caller manages.
              auto g = std::make_shared<graph::Graph>(
-                 graph::make_random_regular_graph(narrow_u32(v[1], "n"),
-                                                  narrow_u32(v[0], "d"),
-                                                  v[2]));
+                 graph::make_random_regular_graph(
+                     narrow_u32("expander", "n", v.u64s[1]),
+                     narrow_u32("expander", "d", v.u64s[0]), v.u64s[2]));
              return graph::AnyTopology::with_payload(
                  graph::ExplicitTopology(*g, "expander"), g);
            },
        .canonical =
            [=](const std::string& params) {
-             const auto v = parse_kv(params, expander_keys,
-                                     expander_required, expander_defaults);
-             return "expander:d=" + std::to_string(v[0]) +
-                    ",n=" + std::to_string(v[1]) +
-                    ",seed=" + std::to_string(v[2]);
+             const auto v = parse_kv("expander", params, expander_fields);
+             return "expander:d=" + std::to_string(v.u64s[0]) +
+                    ",n=" + std::to_string(v.u64s[1]) +
+                    ",seed=" + std::to_string(v.u64s[2]);
            },
        .grammar = "expander:d=DEGREE,n=NODES[,seed=S] (random d-regular "
                   "graph, Section 4.4; e.g. expander:d=8,n=100000,seed=7)"});
+
+  // --- Implicit generator families (KaGen-style, O(1) memory) ---
+
+  const std::vector<KvField> rgg2d_fields = {
+      u64_field("n", true), f64_field("r", true), u64_field("seed", false, 1)};
+  const auto rgg2d_parse = [=](const std::string& params) {
+    const auto v = parse_kv("rgg2d", params, rgg2d_fields);
+    check_range(v.f64s[1] > 0.0 && v.f64s[1] < 1.0, "rgg2d", "r",
+                util::format_shortest(v.f64s[1]),
+                "radius must be in (0, 1)");
+    check_range(v.u64s[0] >= 2, "rgg2d", "n", std::to_string(v.u64s[0]),
+                "need at least 2 nodes");
+    return v;
+  };
+  reg.register_family(
+      "rgg2d",
+      {.make =
+           [=](const std::string& params) {
+             const auto v = rgg2d_parse(params);
+             return graph::AnyTopology(
+                 graph::Rgg2D(v.u64s[0], v.f64s[1], v.u64s[2]));
+           },
+       .canonical =
+           [=](const std::string& params) {
+             const auto v = rgg2d_parse(params);
+             return "rgg2d:n=" + std::to_string(v.u64s[0]) +
+                    ",r=" + util::format_shortest(v.f64s[1]) +
+                    ",seed=" + std::to_string(v.u64s[2]);
+           },
+       .grammar = "rgg2d:n=NODES,r=RADIUS[,seed=S] (implicit toroidal "
+                  "random geometric graph, O(1) memory; "
+                  "e.g. rgg2d:n=100000000,r=0.0002,seed=1)"});
+
+  const std::vector<KvField> gnp_fields = {
+      u64_field("n", true), f64_field("p", true), u64_field("seed", false, 1)};
+  const auto gnp_parse = [=](const std::string& params) {
+    const auto v = parse_kv("gnp", params, gnp_fields);
+    check_range(v.f64s[1] > 0.0 && v.f64s[1] <= 1.0, "gnp", "p",
+                util::format_shortest(v.f64s[1]),
+                "edge probability must be in (0, 1]");
+    check_range(v.u64s[0] >= 2, "gnp", "n", std::to_string(v.u64s[0]),
+                "need at least 2 nodes");
+    return v;
+  };
+  reg.register_family(
+      "gnp",
+      {.make =
+           [=](const std::string& params) {
+             const auto v = gnp_parse(params);
+             return graph::AnyTopology(
+                 graph::Gnp(v.u64s[0], v.f64s[1], v.u64s[2]));
+           },
+       .canonical =
+           [=](const std::string& params) {
+             const auto v = gnp_parse(params);
+             return "gnp:n=" + std::to_string(v.u64s[0]) +
+                    ",p=" + util::format_shortest(v.f64s[1]) +
+                    ",seed=" + std::to_string(v.u64s[2]);
+           },
+       .grammar = "gnp:n=NODES,p=PROB[,seed=S] (implicit Erdős–Rényi "
+                  "G(n, p), O(1) memory, O(n) neighbor queries; "
+                  "e.g. gnp:n=2000,p=0.01,seed=1)"});
+
+  const std::vector<KvField> ba_fields = {
+      u64_field("n", true), u64_field("d", true), u64_field("seed", false, 1)};
+  const auto ba_parse = [=](const std::string& params) {
+    const auto v = parse_kv("ba", params, ba_fields);
+    check_range(v.u64s[1] >= 1, "ba", "d", std::to_string(v.u64s[1]),
+                "attachment degree must be >= 1");
+    check_range(v.u64s[0] > v.u64s[1], "ba", "n", std::to_string(v.u64s[0]),
+                "need n > d");
+    return v;
+  };
+  reg.register_family(
+      "ba",
+      {.make =
+           [=](const std::string& params) {
+             const auto v = ba_parse(params);
+             return graph::AnyTopology(
+                 graph::Ba(v.u64s[0], v.u64s[1], v.u64s[2]));
+           },
+       .canonical =
+           [=](const std::string& params) {
+             const auto v = ba_parse(params);
+             return "ba:n=" + std::to_string(v.u64s[0]) +
+                    ",d=" + std::to_string(v.u64s[1]) +
+                    ",seed=" + std::to_string(v.u64s[2]);
+           },
+       .grammar = "ba:n=NODES,d=ATTACH[,seed=S] (implicit Barabási–Albert "
+                  "preferential attachment, O(1) memory, O(n*d) neighbor "
+                  "queries; e.g. ba:n=5000,d=4,seed=1)"});
 
   return reg;
 }

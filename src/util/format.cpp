@@ -1,5 +1,6 @@
 #include "util/format.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
 
@@ -46,6 +47,15 @@ std::string format_count(std::uint64_t value) {
     }
   }
   return out;
+}
+
+std::string format_shortest(double value) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) {
+    return format_sci(value, 17);  // unreachable for finite doubles
+  }
+  return std::string(buf, ptr);
 }
 
 std::string format_percent(double fraction, int precision) {

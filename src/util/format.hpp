@@ -25,4 +25,10 @@ std::string format_count(std::uint64_t value);
 /// Formats a ratio as a percentage string with `precision` digits.
 std::string format_percent(double fraction, int precision = 2);
 
+/// Formats a double as its shortest exact round-trip decimal (via
+/// std::to_chars), e.g. 0.1 -> "0.1", 0.5 -> "0.5", 1e-06 -> "1e-06".
+/// Used by the scenario registry so canonical spec strings are the
+/// stable identity of a topology.
+std::string format_shortest(double value);
+
 }  // namespace antdense::util

@@ -10,12 +10,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/ba.hpp"
 #include "graph/complete.hpp"
 #include "graph/explicit_topology.hpp"
 #include "graph/generators.hpp"
+#include "graph/gnp.hpp"
 #include "graph/graph.hpp"
 #include "graph/hypercube.hpp"
 #include "graph/ring.hpp"
+#include "graph/rgg2d.hpp"
 #include "graph/torus2d.hpp"
 #include "graph/torus_kd.hpp"
 #include "rng/xoshiro256pp.hpp"
@@ -79,6 +82,16 @@ TEST(AnyTopology, MatchesTorusKD) {
 TEST(AnyTopology, MatchesCompleteGraph) {
   expect_identical_walks(graph::CompleteGraph(512));
 }
+
+TEST(AnyTopology, MatchesRgg2D) {
+  expect_identical_walks(graph::Rgg2D(900, 0.08, 21));
+}
+
+TEST(AnyTopology, MatchesGnp) {
+  expect_identical_walks(graph::Gnp(240, 0.08, 22));
+}
+
+TEST(AnyTopology, MatchesBa) { expect_identical_walks(graph::Ba(240, 3, 23)); }
 
 TEST(AnyTopology, MatchesExplicitExpander) {
   // Narrower (uint32) node handles exercise the widening path.

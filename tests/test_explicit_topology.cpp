@@ -10,9 +10,30 @@
 namespace antdense::graph {
 namespace {
 
-TEST(ExplicitTopology, RequiresRegularity) {
+TEST(ExplicitTopology, AcceptsIrregularGraphs) {
+  // Irregular graphs are first-class (the implicit-generator
+  // differential suite materializes them): nominal degree is the rounded
+  // average, per-node draws respect the true degree.
   const Graph star = make_star_graph(5);
-  EXPECT_THROW(ExplicitTopology{star}, std::invalid_argument);
+  const ExplicitTopology topo(star, "star");
+  EXPECT_FALSE(topo.is_regular());
+  EXPECT_EQ(topo.num_nodes(), 5u);  // hub + 4 leaves
+  // 4 edges over 5 vertices: average degree 8/5 rounds to 2.
+  EXPECT_EQ(topo.degree(), 2u);
+  EXPECT_NE(topo.name().find("davg="), std::string::npos);
+  rng::Xoshiro256pp gen(77);
+  for (int i = 0; i < 200; ++i) {
+    // Every leaf must step to the hub; the hub must step to some leaf.
+    const auto leaf = static_cast<Graph::vertex>(1 + i % 4);
+    EXPECT_EQ(topo.random_neighbor(leaf, gen), 0u);
+    EXPECT_GE(topo.random_neighbor(0, gen), 1u);
+  }
+}
+
+TEST(ExplicitTopology, RejectsIsolatedVertices) {
+  // Walks must stay total: a vertex with no neighbors is still an error.
+  const Graph lonely = Graph::from_edges(3, {{0, 1}});
+  EXPECT_THROW(ExplicitTopology{lonely}, std::invalid_argument);
 }
 
 TEST(ExplicitTopology, ExposesGraphProperties) {

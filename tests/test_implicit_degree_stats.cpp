@@ -1,0 +1,119 @@
+// Degree-distribution sanity for the implicit families, checked against
+// their defining models at statistically meaningful sizes (fixed seeds:
+// regression tests, not flaky statistics).
+//
+//   - Gnp: degrees are Binomial(n-1, p) — sample mean within 4 standard
+//     errors, sample variance within a generous band of the binomial's.
+//   - Ba: the classic power law — mean degree exactly 2d (handshake
+//     invariant), and the empirical CCDF has tail exponent ~2 (density
+//     exponent ~3), checked via CCDF halving ratios
+//     P(D >= k) / P(D >= 2k) ~ 4 in the Batagelj–Brandes model.
+//   - Rgg2D: expected degree in a band around pi r^2 n, with spread no
+//     larger than the binomial's (stratified placement only shrinks it).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "graph/ba.hpp"
+#include "graph/gnp.hpp"
+#include "graph/rgg2d.hpp"
+#include "stats/accumulator.hpp"
+
+namespace antdense::graph {
+namespace {
+
+TEST(ImplicitDegreeStats, GnpDegreesAreBinomial) {
+  constexpr std::uint64_t kN = 3000;
+  constexpr double kP = 0.01;
+  const Gnp gnp(kN, kP, 2026);
+  stats::Accumulator acc;
+  for (std::uint64_t u = 0; u < kN; ++u) {
+    acc.add(static_cast<double>(gnp.degree_of(u)));
+  }
+  const double mean = (kN - 1) * kP;
+  const double variance = (kN - 1) * kP * (1.0 - kP);
+  EXPECT_NEAR(acc.mean(), mean, 4.0 * std::sqrt(variance / kN))
+      << "sample mean " << acc.mean();
+  EXPECT_GT(acc.sample_variance(), 0.85 * variance);
+  EXPECT_LT(acc.sample_variance(), 1.15 * variance);
+}
+
+TEST(ImplicitDegreeStats, BaDegreesFollowThePowerLaw) {
+  constexpr std::uint64_t kN = 20000;
+  constexpr std::uint64_t kD = 4;
+  const Ba ba(kN, kD, 2026);
+  // One O(m) pass over the edge list gives every degree (each edge
+  // contributes both endpoints; a self-loop counts twice) — the same
+  // convention as Ba::degree_of without its per-node scan.
+  std::vector<std::uint32_t> degree(kN, 0);
+  for (std::uint64_t j = 0; j < ba.num_edges(); ++j) {
+    ++degree[ba.source_of(j)];
+    ++degree[ba.target_of(j)];
+  }
+  // Handshake invariant: mean degree is exactly 2d.
+  std::uint64_t total = 0;
+  for (const std::uint32_t d : degree) {
+    total += d;
+  }
+  EXPECT_EQ(total, 2 * ba.num_edges());
+
+  // Tail: in the BB model P(D >= k) ~ d(d+1) / (k(k+1)), so halving
+  // ratios P(D >= k) / P(D >= 2k) sit near (2k)(2k+1)/(k(k+1)) ~ 4 —
+  // i.e. CCDF exponent 2, density exponent 3.  A geometric-ish tail
+  // (exponent drift) pushes these ratios far outside the band.
+  const auto ccdf_count = [&](std::uint32_t k) {
+    std::uint64_t count = 0;
+    for (const std::uint32_t d : degree) {
+      count += d >= k ? 1 : 0;
+    }
+    return count;
+  };
+  for (const std::uint32_t k : {8u, 16u}) {
+    const auto at_k = static_cast<double>(ccdf_count(k));
+    const auto at_2k = static_cast<double>(ccdf_count(2 * k));
+    ASSERT_GT(at_2k, 50.0) << "tail too thin to measure at k=" << 2 * k;
+    const double ratio = at_k / at_2k;
+    EXPECT_GT(ratio, 3.0) << "k=" << k;
+    EXPECT_LT(ratio, 5.0) << "k=" << k;
+  }
+  // The hubs are real: the maximum degree dwarfs the mean.
+  std::uint32_t max_degree = 0;
+  for (const std::uint32_t d : degree) {
+    max_degree = std::max(max_degree, d);
+  }
+  EXPECT_GT(max_degree, 20 * kD);
+}
+
+TEST(ImplicitDegreeStats, Rgg2DDegreesSitInThePiR2NBand) {
+  constexpr std::uint64_t kN = 10000;
+  constexpr double kR = 0.05;
+  const Rgg2D rgg(kN, kR, 2026);
+  stats::Accumulator acc;
+  std::uint64_t isolated = 0;
+  for (std::uint64_t u = 0; u < kN; ++u) {
+    const std::uint64_t d = rgg.degree_of(u);
+    acc.add(static_cast<double>(d));
+    isolated += d == 0 ? 1 : 0;
+  }
+  const double expected = 3.14159265358979323846 * kR * kR * kN;
+  EXPECT_GT(acc.mean(), 0.93 * expected);
+  EXPECT_LT(acc.mean(), 1.07 * expected);
+  // Stratified placement shrinks the spread far below the i.i.d.
+  // binomial's: interior cells of the ball are hit deterministically,
+  // so only the ~2 pi r s perimeter cells contribute variance.  The
+  // spread must be well under the binomial yet clearly non-degenerate.
+  const double binomial_sd =
+      std::sqrt(expected * (1.0 - 3.14159265358979323846 * kR * kR));
+  EXPECT_LT(std::sqrt(acc.sample_variance()), 0.6 * binomial_sd);
+  EXPECT_GT(std::sqrt(acc.sample_variance()), 1.0);
+  // Supercritical regime: nobody is isolated.
+  EXPECT_EQ(isolated, 0u);
+  // And the nominal degree() advertises the same band.
+  EXPECT_NEAR(static_cast<double>(rgg.degree()), expected, 1.0);
+}
+
+}  // namespace
+}  // namespace antdense::graph

@@ -1,0 +1,124 @@
+// Golden pins for the implicit-generator randomness derivation
+// (graph/implicit_hash.hpp) and for the end-to-end neighborhoods built
+// on it.  Like test_rng_stream's derive_stream pins: these values must
+// hold on every platform, compiler, and release — an implicit topology
+// IS its (family, params, seed) triple, so changing any derivation here
+// silently re-goldens every recorded walk on rgg2d/gnp/ba.  Treat a
+// failure as a contract break, not a test to update.  The stability
+// contract is documented in docs/ARCHITECTURE.md.
+#include "graph/implicit_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "graph/ba.hpp"
+#include "graph/gnp.hpp"
+#include "graph/rgg2d.hpp"
+#include "rng/stream.hpp"
+
+namespace antdense::graph {
+namespace {
+
+using implicit_hash::ba_attach_seed;
+using implicit_hash::gnp_edge_word;
+using implicit_hash::rgg2d_jitter_word;
+
+TEST(ImplicitHash, PinnedRgg2DJitterWords) {
+  EXPECT_EQ(rgg2d_jitter_word(0, 0), 0xdc313656b975a2b0ULL);
+  EXPECT_EQ(rgg2d_jitter_word(0, 1), 0x3d5ac1f30738f373ULL);
+  EXPECT_EQ(rgg2d_jitter_word(42, 7), 0x1dde39a60f92846bULL);
+  EXPECT_EQ(rgg2d_jitter_word(0xDEADBEEFULL, 3), 0x4a0babb23111ce40ULL);
+}
+
+TEST(ImplicitHash, PinnedGnpEdgeWords) {
+  EXPECT_EQ(gnp_edge_word(0, 0, 1), 0xad946db2ce9b4ad6ULL);
+  EXPECT_EQ(gnp_edge_word(0, 1, 2), 0xc9d1ce33c2e710afULL);
+  EXPECT_EQ(gnp_edge_word(7, 3, 9), 0xe5ad8647bf18f15aULL);
+  EXPECT_EQ(gnp_edge_word(0xDEADBEEFULL, 5, 6), 0xd53be35d098be384ULL);
+}
+
+TEST(ImplicitHash, PinnedBaAttachSeeds) {
+  EXPECT_EQ(ba_attach_seed(0, 0), 0xe8721fa02b22c7abULL);
+  EXPECT_EQ(ba_attach_seed(0, 1), 0x1546e5598acb2e4bULL);
+  EXPECT_EQ(ba_attach_seed(42, 100), 0xbbba333d63ed301aULL);
+  EXPECT_EQ(ba_attach_seed(0xDEADBEEFULL, 9), 0x75293d735f1ad343ULL);
+}
+
+TEST(ImplicitHash, DerivationsAreConstexpr) {
+  static_assert(rgg2d_jitter_word(1, 2) != rgg2d_jitter_word(2, 1),
+                "jitter derivation must separate seed from node index");
+  static_assert(gnp_edge_word(0, 1, 2) != gnp_edge_word(0, 2, 1),
+                "callers canonicalize pair order; the hash itself is "
+                "order-sensitive");
+  static_assert(ba_attach_seed(5, 0) == ba_attach_seed(5, 0));
+}
+
+TEST(ImplicitHash, DomainsAreSeparated) {
+  // The three family tags, the sharded engine's stream tag, and plain
+  // derive_seed must never collide on the same (seed, index) inputs —
+  // a node's RGG jitter re-used as a GNP edge word would correlate
+  // substrates that share a user seed.
+  for (std::uint64_t seed : {0ull, 1ull, 42ull}) {
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      std::set<std::uint64_t> words = {
+          rgg2d_jitter_word(seed, i), gnp_edge_word(seed, i, i + 1),
+          ba_attach_seed(seed, i), rng::derive_stream(seed, i),
+          rng::derive_seed(seed, i)};
+      EXPECT_EQ(words.size(), 5u) << "seed " << seed << " index " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end pins: the full constructions (fixed-point geometry,
+// threshold compares, attachment chains), not just the hash words.
+// ---------------------------------------------------------------------
+
+TEST(ImplicitGolden, Rgg2DGeometryIsPinned) {
+  const Rgg2D rgg(10000, 0.03, 42);
+  EXPECT_EQ(rgg.side(), 100u);
+  EXPECT_EQ(rgg.reach(), 4u);
+  const Rgg2D::Position p = rgg.position(1234);
+  EXPECT_EQ(p.x, 146937632820ULL);
+  EXPECT_EQ(p.y, 55248339318ULL);
+  EXPECT_EQ(rgg.degree_of(0), 27u);
+  EXPECT_EQ(rgg.degree_of(1234), 29u);
+  EXPECT_EQ(rgg.degree_of(9999), 27u);
+  std::vector<std::uint64_t> first;
+  rgg.for_each_neighbor(1234, [&](std::uint64_t v) {
+    if (first.size() < 3) {
+      first.push_back(v);
+    }
+  });
+  EXPECT_EQ(first, (std::vector<std::uint64_t>{1033, 1034, 1035}));
+}
+
+TEST(ImplicitGolden, GnpAdjacencyIsPinned) {
+  const Gnp gnp(500, 0.02, 42);
+  EXPECT_EQ(gnp.degree_of(0), 10u);
+  EXPECT_EQ(gnp.degree_of(250), 11u);
+  EXPECT_FALSE(gnp.connected(3, 77));
+  EXPECT_FALSE(gnp.connected(0, 1));
+  std::vector<std::uint64_t> first;
+  gnp.for_each_neighbor(250, [&](std::uint64_t v) {
+    if (first.size() < 3) {
+      first.push_back(v);
+    }
+  });
+  EXPECT_EQ(first, (std::vector<std::uint64_t>{51, 93, 132}));
+}
+
+TEST(ImplicitGolden, BaAttachmentChainsArePinned) {
+  const Ba ba(1000, 3, 42);
+  EXPECT_EQ(ba.target_of(0), 0u);  // edge 0 is the node-0 self-loop
+  EXPECT_EQ(ba.target_of(5), 1u);
+  EXPECT_EQ(ba.target_of(100), 9u);
+  EXPECT_EQ(ba.target_of(2999), 849u);
+  EXPECT_EQ(ba.degree_of(0), 52u);
+  EXPECT_EQ(ba.degree_of(500), 4u);
+}
+
+}  // namespace
+}  // namespace antdense::graph

@@ -37,9 +37,9 @@ using scenario::Workload;
 // Registry
 // ---------------------------------------------------------------------
 
-TEST(Registry, BuildsAllSixFamilies) {
+TEST(Registry, BuildsAllNineFamilies) {
   const Registry& reg = Registry::built_in();
-  EXPECT_EQ(reg.family_names().size(), 6u);
+  EXPECT_EQ(reg.family_names().size(), 9u);
 
   EXPECT_EQ(reg.make("torus2d:12x9").num_nodes(), 108u);
   EXPECT_EQ(reg.make("torus2d:12x9").degree(), 4u);
@@ -53,13 +53,23 @@ TEST(Registry, BuildsAllSixFamilies) {
   EXPECT_EQ(reg.make("complete:64").degree(), 63u);
   EXPECT_EQ(reg.make("expander:d=4,n=100,seed=3").num_nodes(), 100u);
   EXPECT_EQ(reg.make("expander:d=4,n=100,seed=3").degree(), 4u);
+  // The implicit families: nominal degree is the expected/mean degree.
+  EXPECT_EQ(reg.make("rgg2d:n=10000,r=0.05,seed=1").num_nodes(), 10000u);
+  EXPECT_EQ(reg.make("rgg2d:n=10000,r=0.05,seed=1").degree(), 79u);  // pi r^2 n
+  EXPECT_EQ(reg.make("gnp:n=300,p=0.1,seed=1").num_nodes(), 300u);
+  EXPECT_EQ(reg.make("gnp:n=300,p=0.1,seed=1").degree(), 30u);  // p (n-1)
+  EXPECT_EQ(reg.make("ba:n=400,d=3,seed=1").num_nodes(), 400u);
+  EXPECT_EQ(reg.make("ba:n=400,d=3,seed=1").degree(), 6u);  // 2 d
 }
 
 TEST(Registry, CanonicalRoundTrips) {
   const Registry& reg = Registry::built_in();
   const char* specs[] = {"torus2d:64x64",  "ring:10000",
                          "hypercube:14",   "toruskd:3x22",
-                         "complete:4096",  "expander:d=8,n=100000,seed=7"};
+                         "complete:4096",  "expander:d=8,n=100000,seed=7",
+                         "rgg2d:n=100000000,r=2e-04,seed=3",
+                         "gnp:n=2000,p=0.01,seed=5",
+                         "ba:n=5000,d=4,seed=9"};
   for (const char* spec : specs) {
     SCOPED_TRACE(spec);
     EXPECT_EQ(reg.canonical(spec), spec);                  // already canonical
@@ -69,6 +79,16 @@ TEST(Registry, CanonicalRoundTrips) {
   EXPECT_EQ(reg.canonical("expander:n=100,d=4"), "expander:d=4,n=100,seed=1");
   EXPECT_EQ(reg.canonical("expander:seed=2,n=100,d=4"),
             "expander:d=4,n=100,seed=2");
+  EXPECT_EQ(reg.canonical("rgg2d:r=0.25,n=64"), "rgg2d:n=64,r=0.25,seed=1");
+  EXPECT_EQ(reg.canonical("gnp:p=0.5,n=64,seed=2"), "gnp:n=64,p=0.5,seed=2");
+  EXPECT_EQ(reg.canonical("ba:d=2,n=64"), "ba:n=64,d=2,seed=1");
+  // Real-valued params normalize to the shortest exact round-trip
+  // spelling (std::to_chars), so different spellings of one double share
+  // one canonical identity — and hence one campaign-cache key.
+  EXPECT_EQ(reg.canonical("gnp:n=64,p=0.50,seed=1"), "gnp:n=64,p=0.5,seed=1");
+  EXPECT_EQ(reg.canonical("rgg2d:n=64,r=2.5e-1"), "rgg2d:n=64,r=0.25,seed=1");
+  EXPECT_EQ(reg.canonical("rgg2d:n=64,r=0.0002"),
+            "rgg2d:n=64,r=2e-04,seed=1");
 }
 
 TEST(Registry, MalformedSpecsThrow) {
@@ -88,6 +108,16 @@ TEST(Registry, MalformedSpecsThrow) {
       "expander:d=8",          // missing n
       "expander:d=8,n=64,q=1", // unknown parameter
       "expander:d=8,seed",     // not key=value
+      "rgg2d:n=64",            // missing r
+      "rgg2d:n=64,r=0.1,q=2",  // unknown parameter
+      "rgg2d:n=64,r=zero",     // non-numeric real
+      "rgg2d:n=64,r=1.5",      // radius out of range
+      "gnp:n=64,p=0",          // probability out of range
+      "gnp:n=64,p=1.01",       // probability out of range
+      "gnp:p=0.5",             // missing n
+      "ba:n=64",               // missing d
+      "ba:n=4,d=4",            // n must exceed d
+      "ba:n=64,d=0",           // degenerate attachment
   };
   for (const char* spec : bad) {
     SCOPED_TRACE(spec);
@@ -98,6 +128,43 @@ TEST(Registry, MalformedSpecsThrow) {
   // syntax-level check and lets them through.
   EXPECT_THROW(reg.make("hypercube:0"), std::invalid_argument);
   EXPECT_EQ(reg.canonical("hypercube:0"), "hypercube:0");
+}
+
+TEST(Registry, DiagnosticsNameTheOffendingKeyAndValue) {
+  // The diagnostics contract: a parse error is attributable from the
+  // message alone — family, key, AND the rejected value all appear.
+  const Registry& reg = Registry::built_in();
+  const auto message_for = [&](const std::string& spec) {
+    try {
+      reg.make(spec);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  const struct {
+    const char* spec;
+    const char* family;
+    const char* fragment;
+  } cases[] = {
+      {"gnp:n=64,p=banana", "gnp", "p=banana"},
+      {"gnp:n=sixty,p=0.5", "gnp", "n=sixty"},
+      {"gnp:n=64,p=1.5", "gnp", "p=1.5"},
+      {"rgg2d:n=64,r=0.1,q=2", "rgg2d", "q=2"},
+      {"rgg2d:n=64,r=-0.5", "rgg2d", "r=-0.5"},
+      {"ba:n=64,d=four", "ba", "d=four"},
+      {"ba:d=2", "ba", "'n'"},
+      {"expander:d=8,n=abc", "expander", "n=abc"},
+      {"torus2d:64xtall", "torus2d", "HEIGHT=tall"},
+      {"ring:1e4", "ring", "NODES=1e4"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.spec);
+    const std::string msg = message_for(c.spec);
+    ASSERT_FALSE(msg.empty()) << "expected " << c.spec << " to throw";
+    EXPECT_NE(msg.find(c.family), std::string::npos) << msg;
+    EXPECT_NE(msg.find(c.fragment), std::string::npos) << msg;
+  }
 }
 
 TEST(Registry, RuntimeRegistrationExtendsTheVocabulary) {
@@ -445,7 +512,9 @@ TEST(Experiment, TrajectoryRecordsAnytimeSeries) {
 TEST(Experiment, LocalDensityRunsOnEverySubstrate) {
   for (const char* topology :
        {"torus2d:12x12", "ring:144", "hypercube:7", "toruskd:3x5",
-        "complete:144", "expander:d=4,n=144,seed=5"}) {
+        "complete:144", "expander:d=4,n=144,seed=5",
+        "rgg2d:n=144,r=0.15,seed=5", "gnp:n=144,p=0.08,seed=5",
+        "ba:n=144,d=3,seed=5"}) {
     SCOPED_TRACE(topology);
     ScenarioSpec spec = tiny_spec(topology, Workload::kLocalDensity);
     spec.trials = 1;

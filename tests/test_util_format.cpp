@@ -17,6 +17,22 @@ TEST(FormatSci, BasicPrecision) {
   EXPECT_EQ(format_sci(0.00123, 2), "1.23e-03");
 }
 
+TEST(FormatShortest, RoundTripsExactly) {
+  // Shortest round-trip form: parsing the output recovers the exact
+  // double — the property the Registry's canonical specs rely on.
+  for (const double v : {0.5, 0.25, 0.0002, 0.013, 1.0, 3.14159265358979,
+                         1e-9, 123456.789}) {
+    EXPECT_EQ(std::stod(format_shortest(v)), v) << format_shortest(v);
+  }
+}
+
+TEST(FormatShortest, PicksTheShortestSpelling) {
+  EXPECT_EQ(format_shortest(0.5), "0.5");
+  EXPECT_EQ(format_shortest(0.05), "0.05");
+  // Scientific wins when it is genuinely shorter.
+  EXPECT_EQ(format_shortest(0.0002), "2e-04");
+}
+
 TEST(FormatAuto, ZeroIsPlainZero) { EXPECT_EQ(format_auto(0.0), "0"); }
 
 TEST(FormatAuto, MidRangeUsesFixed) {
