@@ -48,9 +48,10 @@ void print_usage(std::ostream& os) {
      << "  --agents=N --rounds=T (0 plans via Theorem 1) --eps=E --delta=D\n"
      << "  --lazy=P --miss=P --spurious=P   (Section 6.1 perturbations)\n"
      << "  --trials=K --threads=N --seed=S\n"
-     << "  --engine=single|sharded   (sharded: threads parallelize within\n"
-     << "                             one walk; results are identical for\n"
-     << "                             any --threads in either mode)\n"
+     << "  --engine=single|sharded|vector\n"
+     << "                    (sharded: threads parallelize within one walk;\n"
+     << "                     vector: wide-lane batched stepping; results\n"
+     << "                     are identical for any --threads in any mode)\n"
      << "  --property-fraction=F --tracked=N --checkpoints=N --radius=R\n\n"
      << "driver flags:\n"
      << "  --spec=FILE.json  load a spec file (flags overlay it)\n"

@@ -2,8 +2,10 @@
 //
 // Times the single-stream engine (sim::run_density_walk) against the
 // sharded engine (sim::run_density_walk_sharded) at threads 1, 2, 4,
-// and 8 on the 2-D torus across agent counts, printing a ns/agent-round
-// table and writing BENCH_shard.json for the CI perf gate.  Before
+// and 8 on the 2-D torus across agent counts — with a vector-engine
+// (sim::run_density_walk_vector) reference row per cell — printing a
+// ns/agent-round table and writing BENCH_shard.json for the CI perf
+// gate.  Before
 // timing, every cell cross-checks that the sharded collision counts are
 // bit-identical across all thread counts — a release-mode smoke test of
 // the determinism contract that also catches worker-pool races the unit
@@ -35,6 +37,7 @@
 #include "graph/torus2d.hpp"
 #include "sim/density_sim.hpp"
 #include "sim/sharded_walk.hpp"
+#include "sim/vector_walk.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
@@ -50,6 +53,7 @@ struct Cell {
   std::uint64_t rounds = 0;
   std::uint32_t shard_size = 0;
   double engine_ns = 0.0;                  // single-stream reference
+  double vector_ns = 0.0;                  // engine=vector reference
   double sharded_ns[std::size(kThreadCounts)] = {};
   /// What actually ran: the engine clamps workers to the shard count,
   /// so a "t8" row on a 3-shard cell executes 3-wide.  Recorded in the
@@ -112,6 +116,12 @@ Cell measure_cell(const graph::Torus2D& topo, std::uint32_t agents,
   cell.engine_ns = time_path(
       [&](std::uint64_t rep) {
         sink = sink + sim::run_density_walk(topo, cfg, 0xBE7C + rep)
+                          .collision_counts[0];
+      },
+      agents, cfg.rounds, reps);
+  cell.vector_ns = time_path(
+      [&](std::uint64_t rep) {
+        sink = sink + sim::run_density_walk_vector(topo, cfg, 0xBE7C + rep)
                           .collision_counts[0];
       },
       agents, cfg.rounds, reps);
@@ -180,13 +190,14 @@ int main(int argc, char** argv) {
   }
 
   util::Table table({"topology", "agents", "rounds", "engine ns/step",
-                     "t1 ns/step", "t2 ns/step", "t4 ns/step", "t8 ns/step",
-                     "t1/engine", "t8 speedup"});
+                     "vector ns/step", "t1 ns/step", "t2 ns/step",
+                     "t4 ns/step", "t8 ns/step", "t1/engine", "t8 speedup"});
   std::vector<bench::BenchRecord> records;
   for (const Cell& c : cells) {
     table.add_row(
         {c.topology, util::format_count(c.agents),
          util::format_count(c.rounds), util::format_fixed(c.engine_ns, 2),
+         util::format_fixed(c.vector_ns, 2),
          util::format_fixed(c.sharded_ns[0], 2),
          util::format_fixed(c.sharded_ns[1], 2),
          util::format_fixed(c.sharded_ns[2], 2),
@@ -194,6 +205,8 @@ int main(int argc, char** argv) {
          util::format_fixed(c.sharded_ns[0] / c.engine_ns, 3),
          util::format_fixed(c.sharded_ns[0] / c.sharded_ns[3], 2) + "x"});
     records.push_back({"engine", c.topology, c.agents, c.rounds, c.engine_ns,
+                       1, hardware});
+    records.push_back({"vector", c.topology, c.agents, c.rounds, c.vector_ns,
                        1, hardware});
     for (std::size_t t = 0; t < std::size(kThreadCounts); ++t) {
       // name carries the requested tier; "threads" the width that

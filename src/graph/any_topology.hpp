@@ -31,7 +31,9 @@
 #include <vector>
 
 #include "graph/topology.hpp"
+#include "graph/vector_step.hpp"
 #include "rng/xoshiro256pp.hpp"
+#include "rng/xoshiro_wide.hpp"
 #include "util/check.hpp"
 
 namespace antdense::graph {
@@ -66,6 +68,24 @@ class AnyTopology {
   }
   node_type random_neighbor(node_type u, rng::Xoshiro256pp& gen) const {
     return impl_->random_neighbor(u, gen);
+  }
+
+  /// Wide-stream overloads for the vector engine (sim/vector_walk.hpp).
+  /// The virtual interface is typed on the concrete scalar generator, so
+  /// the wide word source needs its own entry points; they obey the same
+  /// sequential-equivalence contract as graph::vector_step.
+  node_type random_node(rng::WideStream& stream) const {
+    return impl_->random_node_wide(stream);
+  }
+  node_type random_neighbor(node_type u, rng::WideStream& stream) const {
+    return impl_->random_neighbor_wide(u, stream);
+  }
+
+  /// Advances every position one step in place, drawing from the wide
+  /// stream — one virtual call per round, forwarding to the wrapped
+  /// topology's graph::vector_step path (word kernels / batched Lemire).
+  void step_nodes(std::span<node_type> pos, rng::WideStream& stream) const {
+    impl_->step_nodes_wide(pos, stream);
   }
 
   /// Batched stepping — one virtual call for the whole round, forwarding
@@ -121,6 +141,11 @@ class AnyTopology {
     virtual void random_neighbors(std::span<const node_type> in,
                                   std::span<node_type> out,
                                   rng::Xoshiro256pp& gen) const = 0;
+    virtual node_type random_node_wide(rng::WideStream& stream) const = 0;
+    virtual node_type random_neighbor_wide(node_type u,
+                                           rng::WideStream& stream) const = 0;
+    virtual void step_nodes_wide(std::span<node_type> pos,
+                                 rng::WideStream& stream) const = 0;
     virtual std::uint64_t key(node_type u) const = 0;
     virtual void keys(std::span<const node_type> nodes,
                       std::span<std::uint64_t> out) const = 0;
@@ -160,6 +185,30 @@ class AnyTopology {
         for (std::size_t i = 0; i < in.size(); ++i) {
           out[i] = static_cast<node_type>(topo.random_neighbor(
               static_cast<wrapped_node>(in[i]), gen));
+        }
+      }
+    }
+
+    node_type random_node_wide(rng::WideStream& stream) const override {
+      return static_cast<node_type>(topo.random_node(stream));
+    }
+    node_type random_neighbor_wide(node_type u,
+                                   rng::WideStream& stream) const override {
+      return static_cast<node_type>(
+          topo.random_neighbor(static_cast<wrapped_node>(u), stream));
+    }
+
+    void step_nodes_wide(std::span<node_type> pos,
+                         rng::WideStream& stream) const override {
+      if constexpr (std::same_as<wrapped_node, node_type>) {
+        graph::vector_step(topo, pos, stream);
+      } else {
+        // Narrower node handles cannot view the uint64 span; step
+        // elementwise — sequential-equivalent by the vector_step
+        // contract, so the stream state matches either way.
+        for (node_type& p : pos) {
+          p = static_cast<node_type>(
+              topo.random_neighbor(static_cast<wrapped_node>(p), stream));
         }
       }
     }

@@ -51,6 +51,13 @@ class CompleteGraph {
     }
   }
 
+  /// UniformPickTopology factoring of random_neighbor: pick among the
+  /// A-1 other nodes, then skip past u.
+  std::uint64_t pick_bound() const { return size_ - 1; }
+  node_type pick_step(node_type u, std::uint64_t pick) const {
+    return pick >= u ? pick + 1 : pick;
+  }
+
   std::uint64_t key(node_type u) const { return u; }
 
   template <typename Fn>
@@ -70,5 +77,6 @@ class CompleteGraph {
 
 static_assert(Topology<CompleteGraph>);
 static_assert(BulkTopology<CompleteGraph>);
+static_assert(UniformPickTopology<CompleteGraph>);
 
 }  // namespace antdense::graph

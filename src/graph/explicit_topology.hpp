@@ -80,6 +80,13 @@ class ExplicitTopology {
     }
   }
 
+  /// VariablePickTopology factoring of random_neighbor: pick below the
+  /// node's own degree, then index its adjacency slice.
+  std::uint64_t pick_bound(node_type u) const { return graph_->degree(u); }
+  node_type pick_step(node_type u, std::uint64_t pick) const {
+    return graph_->neighbor(u, static_cast<std::uint32_t>(pick));
+  }
+
   std::uint64_t key(node_type u) const { return u; }
 
   template <typename Fn>
@@ -107,5 +114,6 @@ class ExplicitTopology {
 
 static_assert(Topology<ExplicitTopology>);
 static_assert(BulkTopology<ExplicitTopology>);
+static_assert(VariablePickTopology<ExplicitTopology>);
 
 }  // namespace antdense::graph

@@ -54,6 +54,13 @@ class Hypercube {
     }
   }
 
+  /// UniformPickTopology factoring of random_neighbor: pick the bit to
+  /// flip, then a pure XOR step.
+  std::uint64_t pick_bound() const { return k_; }
+  node_type pick_step(node_type u, std::uint64_t pick) const {
+    return u ^ (std::uint64_t{1} << pick);
+  }
+
   std::uint64_t key(node_type u) const { return u; }
 
   /// Hamming distance, for tests.
@@ -76,5 +83,6 @@ class Hypercube {
 
 static_assert(Topology<Hypercube>);
 static_assert(BulkTopology<Hypercube>);
+static_assert(UniformPickTopology<Hypercube>);
 
 }  // namespace antdense::graph

@@ -59,6 +59,29 @@ concept BulkTopology =
       { t.random_neighbors(in, out, g) } -> std::same_as<void>;
     };
 
+/// A topology whose neighbor draw factors into "uniform pick below a
+/// node-independent bound, then a pure function of (node, pick)".  The
+/// contract, relied on by the vector engine's batched Lemire stepping:
+///   random_neighbor(u, g) == pick_step(u, uniform_below(g, pick_bound()))
+/// consuming the generator identically.
+template <typename T>
+concept UniformPickTopology =
+    Topology<T> && requires(const T& t, const typename T::node_type& u,
+                            std::uint64_t pick) {
+      { t.pick_bound() } -> std::convertible_to<std::uint64_t>;
+      { t.pick_step(u, pick) } -> std::same_as<typename T::node_type>;
+    };
+
+/// Same factoring with a per-node pick bound (irregular-degree families):
+///   random_neighbor(u, g) == pick_step(u, uniform_below(g, pick_bound(u)))
+template <typename T>
+concept VariablePickTopology =
+    Topology<T> && requires(const T& t, const typename T::node_type& u,
+                            std::uint64_t pick) {
+      { t.pick_bound(u) } -> std::convertible_to<std::uint64_t>;
+      { t.pick_step(u, pick) } -> std::same_as<typename T::node_type>;
+    };
+
 namespace detail {
 
 /// Shared scaffold for topologies whose step needs exactly one raw

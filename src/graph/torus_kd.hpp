@@ -93,6 +93,13 @@ class TorusKD {
     }
   }
 
+  /// UniformPickTopology factoring of random_neighbor: a 2k-way pick
+  /// (dimension in the high bits, direction in bit 0) then a pure step.
+  std::uint64_t pick_bound() const { return 2ULL * k_; }
+  node_type pick_step(node_type u, std::uint64_t pick) const {
+    return step(u, static_cast<std::uint32_t>(pick >> 1), (pick & 1) != 0);
+  }
+
   node_type step(node_type u, std::uint32_t dim, bool forward) const {
     const std::uint32_t shift = dim * bits_;
     auto c = static_cast<std::uint32_t>((u >> shift) & mask_);
@@ -136,5 +143,6 @@ class TorusKD {
 
 static_assert(Topology<TorusKD>);
 static_assert(BulkTopology<TorusKD>);
+static_assert(UniformPickTopology<TorusKD>);
 
 }  // namespace antdense::graph

@@ -4,9 +4,11 @@
 // one multiplication in the common case, no modulo in the hot loop.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <concepts>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/check.hpp"
@@ -18,9 +20,21 @@ concept BitGenerator64 = requires(G g) {
   { g() } -> std::same_as<std::uint64_t>;
 };
 
-/// Unbiased uniform integer in [0, bound).  bound must be >= 1.
+/// Unbiased uniform integer in [0, bound).
+///
+/// Precondition: bound >= 1.  An empty range has no uniform sample, and
+/// the rejection threshold computes (2^64 mod bound) as
+/// `(0 - bound) % bound` — a division by zero when bound == 0.  Debug
+/// builds assert; release builds return 0 instead of dividing by zero,
+/// so a violated precondition stays deterministic rather than UB.
 template <BitGenerator64 G>
 inline std::uint64_t uniform_below(G& gen, std::uint64_t bound) {
+#ifndef NDEBUG
+  ANTDENSE_ASSERT(bound >= 1, "uniform_below requires bound >= 1");
+#endif
+  if (bound == 0) [[unlikely]] {
+    return 0;
+  }
   // Lemire 2019, "Fast Random Integer Generation in an Interval".
   std::uint64_t x = gen();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -36,7 +50,119 @@ inline std::uint64_t uniform_below(G& gen, std::uint64_t bound) {
   return static_cast<std::uint64_t>(m >> 64);
 }
 
-/// Uniform integer in [lo, hi] inclusive.
+namespace detail {
+
+/// Pops out.size() words from the generator, using its bulk fill()
+/// member when it has one (rng::WideStream), else sequential calls.
+template <BitGenerator64 G>
+inline void fill_words(G& gen, std::span<std::uint64_t> out) {
+  if constexpr (requires { gen.fill(out); }) {
+    gen.fill(out);
+  } else {
+    for (std::uint64_t& w : out) {
+      w = gen();
+    }
+  }
+}
+
+/// Word source that replays a buffered prefix before falling through to
+/// the live generator — the replay device that keeps batched Lemire
+/// rejection word-for-word compatible with sequential draws.
+template <BitGenerator64 G>
+struct ReplayThenGen {
+  const std::uint64_t* words;
+  std::size_t count;
+  std::size_t pos;
+  G* gen;
+  std::uint64_t operator()() {
+    return pos < count ? words[pos++] : (*gen)();
+  }
+};
+
+}  // namespace detail
+
+/// Batched uniform_below with a shared bound: out[i] gets the value the
+/// i-th sequential uniform_below(gen, bound) call would produce — same
+/// draws, same order.  The fast path draws a block of words in bulk and
+/// multiplies straight through; iff any word lands under the rejection
+/// threshold (probability (2^64 mod bound)/2^64 per word, ~0 for the
+/// small bounds topologies use), that block is recomputed sequentially
+/// over the already-drawn words, consuming extra words exactly where the
+/// scalar loop would.  Precondition: bound >= 1 (see uniform_below).
+template <BitGenerator64 G>
+inline void uniform_below_batch(G& gen, std::uint64_t bound,
+                                std::span<std::uint64_t> out) {
+#ifndef NDEBUG
+  ANTDENSE_ASSERT(bound >= 1, "uniform_below_batch requires bound >= 1");
+#endif
+  if (bound == 0) [[unlikely]] {
+    std::fill(out.begin(), out.end(), std::uint64_t{0});
+    return;
+  }
+  const std::uint64_t threshold = (0 - bound) % bound;
+  constexpr std::size_t kBlock = 256;
+  std::uint64_t words[kBlock];
+  for (std::size_t done = 0; done < out.size();) {
+    const std::size_t m = std::min(kBlock, out.size() - done);
+    detail::fill_words(gen, {words, m});
+    bool reject = false;
+    for (std::size_t j = 0; j < m; ++j) {
+      const __uint128_t prod = static_cast<__uint128_t>(words[j]) * bound;
+      out[done + j] = static_cast<std::uint64_t>(prod >> 64);
+      reject |= static_cast<std::uint64_t>(prod) < threshold;
+    }
+    if (reject) [[unlikely]] {
+      detail::ReplayThenGen<G> src{words, m, 0, &gen};
+      for (std::size_t j = 0; j < m; ++j) {
+        out[done + j] = uniform_below(src, bound);
+      }
+    }
+    done += m;
+  }
+}
+
+/// Batched uniform_below with per-element bounds (irregular-degree
+/// families): out[i] gets what uniform_below(gen, bounds[i]) would
+/// produce sequentially.  Same optimistic-block / sequential-replay
+/// scheme as the shared-bound overload; the per-element threshold is
+/// only computed on the rare low < bound path, so the fast path does
+/// one multiply and one compare per element.
+template <BitGenerator64 G>
+inline void uniform_below_batch(G& gen, std::span<const std::uint64_t> bounds,
+                                std::span<std::uint64_t> out) {
+  ANTDENSE_CHECK(bounds.size() == out.size(),
+                 "uniform_below_batch needs equal-sized spans");
+  constexpr std::size_t kBlock = 256;
+  std::uint64_t words[kBlock];
+  for (std::size_t done = 0; done < out.size();) {
+    const std::size_t m = std::min(kBlock, out.size() - done);
+    detail::fill_words(gen, {words, m});
+    bool reject = false;
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint64_t bound = bounds[done + j];
+#ifndef NDEBUG
+      ANTDENSE_ASSERT(bound >= 1, "uniform_below_batch requires bounds >= 1");
+#endif
+      const __uint128_t prod = static_cast<__uint128_t>(words[j]) * bound;
+      const auto low = static_cast<std::uint64_t>(prod);
+      out[done + j] = static_cast<std::uint64_t>(prod >> 64);
+      if (low < bound) [[unlikely]] {
+        reject |= bound == 0 || low < (0 - bound) % bound;
+      }
+    }
+    if (reject) [[unlikely]] {
+      detail::ReplayThenGen<G> src{words, m, 0, &gen};
+      for (std::size_t j = 0; j < m; ++j) {
+        out[done + j] = uniform_below(src, bounds[done + j]);
+      }
+    }
+    done += m;
+  }
+}
+
+/// Uniform integer in [lo, hi] inclusive.  The span hi - lo + 1 must not
+/// wrap to zero, i.e. the full 64-bit range [INT64_MIN, INT64_MAX] is
+/// excluded — that span violates uniform_below's bound >= 1 precondition.
 template <BitGenerator64 G>
 inline std::int64_t uniform_int(G& gen, std::int64_t lo, std::int64_t hi) {
   ANTDENSE_CHECK(lo <= hi, "uniform_int requires lo <= hi");

@@ -11,6 +11,7 @@
 #include "sim/density_sim.hpp"
 #include "sim/sharded_walk.hpp"
 #include "sim/trial_runner.hpp"
+#include "sim/vector_walk.hpp"
 #include "sim/walk_engine.hpp"
 #include "stats/accumulator.hpp"
 #include "util/check.hpp"
@@ -149,18 +150,32 @@ ScenarioResult Experiment::run() const {
       // invariant) stream: one trial parallelizes within the walk, fan-
       // outs parallelize across trials and run each walk's shards
       // serially — the estimates are identical either way.
-      const bool sharded = spec_.engine == EngineMode::kSharded;
       if (spec_.trials == 1) {
-        result.estimates =
-            sharded ? sim::run_density_walk_sharded(
-                          topo_, density_config(spec_), spec_.seed,
-                          sim::ShardExec{.threads = spec_.threads})
-                          .estimates()
-                    : sim::run_density_walk(topo_, density_config(spec_),
-                                            spec_.seed)
-                          .estimates();
-      } else if (sharded) {
+        switch (spec_.engine) {
+          case EngineMode::kSharded:
+            result.estimates =
+                sim::run_density_walk_sharded(
+                    topo_, density_config(spec_), spec_.seed,
+                    sim::ShardExec{.threads = spec_.threads})
+                    .estimates();
+            break;
+          case EngineMode::kVector:
+            result.estimates = sim::run_density_walk_vector(
+                                   topo_, density_config(spec_), spec_.seed)
+                                   .estimates();
+            break;
+          case EngineMode::kSingleStream:
+            result.estimates = sim::run_density_walk(
+                                   topo_, density_config(spec_), spec_.seed)
+                                   .estimates();
+            break;
+        }
+      } else if (spec_.engine == EngineMode::kSharded) {
         result.estimates = sim::collect_all_agent_estimates_sharded(
+            topo_, density_config(spec_), spec_.seed, spec_.trials,
+            spec_.threads);
+      } else if (spec_.engine == EngineMode::kVector) {
+        result.estimates = sim::collect_all_agent_estimates_vector(
             topo_, density_config(spec_), spec_.seed, spec_.trials,
             spec_.threads);
       } else {
@@ -192,16 +207,23 @@ ScenarioResult Experiment::run() const {
                      assign_gen, spec_.agents, num_property)) {
               has_property[idx] = true;
             }
-            const sim::PropertyResult raw =
-                spec_.engine == EngineMode::kSharded
-                    ? sim::run_property_walk_sharded(
-                          topo_, density_config(spec_), has_property,
-                          trial_seed,
-                          sim::ShardExec{.threads = spec_.trials == 1
-                                             ? spec_.threads
-                                             : 1})
-                    : sim::run_property_walk(topo_, density_config(spec_),
-                                             has_property, trial_seed);
+            const sim::PropertyResult raw = [&] {
+              switch (spec_.engine) {
+                case EngineMode::kSharded:
+                  return sim::run_property_walk_sharded(
+                      topo_, density_config(spec_), has_property, trial_seed,
+                      sim::ShardExec{.threads = spec_.trials == 1
+                                         ? spec_.threads
+                                         : 1});
+                case EngineMode::kVector:
+                  return sim::run_property_walk_vector(
+                      topo_, density_config(spec_), has_property, trial_seed);
+                case EngineMode::kSingleStream:
+                default:
+                  return sim::run_property_walk(topo_, density_config(spec_),
+                                                has_property, trial_seed);
+              }
+            }();
             std::vector<double>& freq = per_trial[trial];
             freq.reserve(spec_.agents);
             for (std::uint32_t i = 0; i < spec_.agents; ++i) {
@@ -241,6 +263,12 @@ ScenarioResult Experiment::run() const {
             sim::ShardExec{.threads = spec_.threads},
             static_cast<const std::vector<std::uint64_t>*>(nullptr), counts,
             trajectory);
+      } else if (spec_.engine == EngineMode::kVector) {
+        sim::run_walk_vector(
+            topo_, cfg, rng::derive_seed(spec_.seed, 0x7124u),
+            sim::VectorExec{},
+            static_cast<const std::vector<std::uint64_t>*>(nullptr), counts,
+            trajectory);
       } else {
         sim::run_walk(topo_, cfg, rng::derive_seed(spec_.seed, 0x7124u),
                       static_cast<const std::vector<std::uint64_t>*>(nullptr),
@@ -265,6 +293,11 @@ ScenarioResult Experiment::run() const {
         sim::run_walk_sharded(
             topo_, cfg, rng::derive_seed(spec_.seed, 0x10Du),
             sim::ShardExec{.threads = spec_.threads},
+            static_cast<const std::vector<std::uint64_t>*>(nullptr), balls);
+      } else if (spec_.engine == EngineMode::kVector) {
+        sim::run_walk_vector(
+            topo_, cfg, rng::derive_seed(spec_.seed, 0x10Du),
+            sim::VectorExec{},
             static_cast<const std::vector<std::uint64_t>*>(nullptr), balls);
       } else {
         sim::run_walk(topo_, cfg, rng::derive_seed(spec_.seed, 0x10Du),

@@ -44,7 +44,15 @@ std::uint32_t narrow_u32(std::uint64_t value, const std::string& what) {
 }  // namespace
 
 std::string engine_mode_name(EngineMode mode) {
-  return mode == EngineMode::kSingleStream ? "single" : "sharded";
+  switch (mode) {
+    case EngineMode::kSingleStream:
+      return "single";
+    case EngineMode::kSharded:
+      return "sharded";
+    case EngineMode::kVector:
+      return "vector";
+  }
+  throw std::logic_error("unreachable engine mode");
 }
 
 EngineMode parse_engine_mode(const std::string& name) {
@@ -54,8 +62,11 @@ EngineMode parse_engine_mode(const std::string& name) {
   if (name == "sharded") {
     return EngineMode::kSharded;
   }
+  if (name == "vector") {
+    return EngineMode::kVector;
+  }
   throw std::invalid_argument("unknown engine mode '" + name +
-                              "' (expected single or sharded)");
+                              "' (expected single, sharded, or vector)");
 }
 
 std::string workload_name(Workload w) {

@@ -36,18 +36,21 @@ enum class Workload {
 };
 
 /// How the walk itself executes.  This is part of the experiment's
-/// *identity*, not a resource knob: the two engines consume different
+/// *identity*, not a resource knob: the engines consume different
 /// (equally valid) random streams, so their results differ bitwise.
-/// Within either engine, results are bit-identical for any `threads`.
+/// Within any one engine, results are bit-identical for any `threads`.
 enum class EngineMode {
   kSingleStream,  // the historical run_walk stream; threads only fan
                   // out Monte Carlo trials
   kSharded,       // sim/sharded_walk.hpp: per-shard streams, threads
                   // parallelize within one walk too
+  kVector,        // sim/vector_walk.hpp: wide-lane stream, vectorized
+                  // stepping; threads fan out trials as with single
 };
 
 std::string engine_mode_name(EngineMode mode);
-/// Parses "single" / "sharded"; throws std::invalid_argument otherwise.
+/// Parses "single" / "sharded" / "vector"; throws std::invalid_argument
+/// otherwise.
 EngineMode parse_engine_mode(const std::string& name);
 
 std::string workload_name(Workload w);

@@ -21,6 +21,7 @@
 #include "rng/splitmix64.hpp"
 #include "sim/density_sim.hpp"
 #include "sim/sharded_walk.hpp"
+#include "sim/vector_walk.hpp"
 #include "util/parallel.hpp"
 
 namespace antdense::sim {
@@ -73,6 +74,20 @@ std::vector<double> collect_all_agent_estimates_sharded(
         return run_density_walk_sharded(topo, cfg,
                                         rng::derive_seed(root_seed, trial),
                                         ShardExec{.threads = 1})
+            .estimates();
+      });
+}
+
+/// collect_all_agent_estimates on the vector engine: same per-trial
+/// seed derivation, wide-lane stream per walk.
+template <graph::Topology T>
+std::vector<double> collect_all_agent_estimates_vector(
+    const T& topo, const DensityConfig& cfg, std::uint64_t root_seed,
+    std::uint32_t trials, unsigned threads = 0) {
+  return detail::pool_trial_estimates(
+      trials, cfg.num_agents, threads, [&](std::size_t trial) {
+        return run_density_walk_vector(topo, cfg,
+                                       rng::derive_seed(root_seed, trial))
             .estimates();
       });
 }

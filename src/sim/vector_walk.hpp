@@ -1,0 +1,227 @@
+// The vector walk engine — the third identity-bearing engine variant
+// (engine=vector beside single and sharded): the same synchronous round
+// structure as run_walk, driven by wide batched randomness and
+// vectorized kernels instead of per-agent scalar generator calls.
+//
+// What changes relative to engine=single, and why it re-goldens:
+//   - The draw source is a rng::WideStream — kWideLanes xoshiro256++
+//     streams emitted lane-interleaved (rng/xoshiro_wide.hpp) — so the
+//     word sequence differs from the single engine's one scalar stream
+//     by construction.  Like sharded's per-shard streams in PR 5, this
+//     is an *identity* choice: engine=vector has its own golden streams
+//     (tests/test_vector_walk.cpp), and the single/sharded streams are
+//     untouched.
+//   - Stepping goes through graph::vector_step: branchless word kernels
+//     for ring/torus2d (AVX2 when compiled in), batched Lemire rejection
+//     for the pick families, the topology's own bulk sampler otherwise.
+//     All of it is sequential-equivalent over the WideStream, so the
+//     vector stream is *defined* by "per-agent draws from the wide
+//     stream" and every acceleration path is unobservable.
+//   - Occupancy counting uses the direct-addressed DenseCollisionCounter
+//     when the substrate's key space is small enough (one indexed load
+//     instead of mix+probe), falling back to the hash CollisionCounter
+//     beyond the cap; counts are identical either way.
+//   - Observer noise draws come from a dedicated scalar generator at a
+//     domain-tagged seed (kVectorObserverTag), keeping the
+//     Xoshiro256pp-typed view contract and the movement stream cleanly
+//     separated.
+//
+// Observer hooks, pack order, and view semantics are exactly
+// run_walk's; the view's counter type is whichever counter the walk
+// selected, so observers templated on the view (all in-tree observers)
+// work unchanged.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "graph/vector_step.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "rng/xoshiro_wide.hpp"
+#include "sim/collision_counter.hpp"
+#include "sim/dense_counter.hpp"
+#include "sim/density_sim.hpp"
+#include "sim/walk_engine.hpp"
+#include "util/check.hpp"
+
+namespace antdense::sim {
+
+/// Domain-separation tag ("VECOBSRV") for the vector engine's observer
+/// noise generator, disjoint from the movement lanes (kVectorLaneTag).
+inline constexpr std::uint64_t kVectorObserverTag = 0x5645434F42535256ULL;
+
+/// The vector engine's view when the dense counter is selected.
+using VectorRoundView = BasicRoundView<DenseCollisionCounter>;
+
+/// Execution knobs for the vector engine.  Unlike `engine` itself these
+/// are not identity-bearing — results are independent of them.
+struct VectorExec {
+  /// Forces the hash CollisionCounter even when the dense counter would
+  /// apply; the dense/hash equality tests run both sides through this.
+  bool force_hash_counter = false;
+};
+
+namespace detail {
+
+/// Counter fill with a prefetch lookahead: the keys are random draws, so
+/// each add is a dependent random access the hardware prefetcher cannot
+/// predict.
+inline void fill_counter(DenseCollisionCounter& counter,
+                         std::span<const std::uint64_t> keys) {
+  constexpr std::size_t kAhead = 8;
+  const std::size_t n = keys.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kAhead < n) {
+      counter.prefetch(keys[i + kAhead]);
+    }
+    counter.add(keys[i]);
+  }
+}
+
+inline void fill_counter(CollisionCounter& counter,
+                         std::span<const std::uint64_t> keys) {
+  for (const std::uint64_t key : keys) {
+    counter.add(key);
+  }
+}
+
+template <typename Counter, graph::Topology T, class... Obs>
+void run_walk_vector_impl(
+    const T& topo, const WalkConfig& cfg, std::uint64_t stream_seed,
+    Counter& counter,
+    const std::vector<typename T::node_type>* initial_positions,
+    Obs&... observers) {
+  using node = typename T::node_type;
+  const std::uint32_t n_agents = cfg.num_agents;
+
+  rng::WideStream stream(stream_seed);
+  rng::Xoshiro256pp obs_gen(rng::derive_seed(stream_seed, kVectorObserverTag));
+
+  std::vector<node> pos(n_agents);
+  if (initial_positions != nullptr) {
+    pos = *initial_positions;
+  } else {
+    for (auto& p : pos) {
+      p = topo.random_node(stream);
+    }
+  }
+
+  std::vector<std::uint64_t> keys(n_agents);
+  const bool lazy = cfg.lazy_probability > 0.0;
+
+  for (std::uint32_t r = 1; r <= cfg.rounds; ++r) {
+    counter.begin_round();
+    if (lazy) {
+      // Interleaved stay/step draws, as in the scalar engines — lazy
+      // walks keep sequential consumption so the stream stays one flat
+      // sequence regardless of who moved.
+      for (std::uint32_t i = 0; i < n_agents; ++i) {
+        if (!rng::bernoulli(stream, cfg.lazy_probability)) {
+          pos[i] = topo.random_neighbor(pos[i], stream);
+        }
+      }
+    } else {
+      graph::vector_step(topo, std::span<node>(pos), stream);
+    }
+    graph::node_keys(topo, std::span<const node>(pos),
+                     std::span<std::uint64_t>(keys));
+    fill_counter(counter, keys);
+    const BasicRoundView<Counter> view{r,
+                                       0,
+                                       n_agents,
+                                       n_agents,
+                                       std::span<const std::uint64_t>(keys),
+                                       counter,
+                                       obs_gen,
+                                       /*concurrent_fill=*/false};
+    const std::span<const node> positions(pos);
+    (notify_begin_round(observers, r), ...);
+    (notify_fill(observers, view, positions), ...);
+    (notify_after_round(observers, view, positions), ...);
+    (notify_end_round(observers, r), ...);
+  }
+}
+
+}  // namespace detail
+
+/// Runs the vector engine's round loop: uniform i.i.d. placement (or the
+/// caller's positions), cfg.rounds vectorized steps, occupancy counting
+/// through the per-substrate counter choice, observer hooks in pack
+/// order.  Deterministic in `stream_seed` and independent of VectorExec,
+/// AVX2 availability, and kernel specialization.
+template <graph::Topology T, class... Obs>
+  requires(WalkObserverForView<Obs, typename T::node_type,
+                               BasicRoundView<CollisionCounter>> &&
+           ...) &&
+          (WalkObserverForView<Obs, typename T::node_type,
+                               BasicRoundView<DenseCollisionCounter>> &&
+           ...)
+void run_walk_vector(
+    const T& topo, const WalkConfig& cfg, std::uint64_t stream_seed,
+    VectorExec exec,
+    const std::vector<typename T::node_type>* initial_positions,
+    Obs&... observers) {
+  cfg.validate();
+  ANTDENSE_CHECK(initial_positions == nullptr ||
+                     initial_positions->size() == cfg.num_agents,
+                 "initial positions must match agent count");
+  if (!exec.force_hash_counter && use_dense_counter(topo.num_nodes())) {
+    DenseCollisionCounter counter(topo.num_nodes());
+    detail::run_walk_vector_impl(topo, cfg, stream_seed, counter,
+                                 initial_positions, observers...);
+  } else {
+    CollisionCounter counter(cfg.num_agents);
+    detail::run_walk_vector_impl(topo, cfg, stream_seed, counter,
+                                 initial_positions, observers...);
+  }
+}
+
+/// run_density_walk on the vector engine: same 0x51 stream tag, same
+/// observer, vector movement stream.
+template <graph::Topology T>
+DensityResult run_density_walk_vector(
+    const T& topo, const DensityConfig& cfg, std::uint64_t seed,
+    VectorExec exec = {},
+    const std::vector<typename T::node_type>* initial_positions = nullptr) {
+  cfg.validate();
+  CollisionObserver observer(
+      cfg.num_agents, {.detection_miss = cfg.detection_miss_probability,
+                       .spurious = cfg.spurious_collision_probability});
+  run_walk_vector(topo, cfg.walk_config(), rng::derive_seed(seed, 0x51u),
+                  exec, initial_positions, observer);
+
+  DensityResult result;
+  result.collision_counts = observer.take_counts();
+  result.rounds = cfg.rounds;
+  result.num_nodes = topo.num_nodes();
+  return result;
+}
+
+/// run_property_walk on the vector engine: same 0x52 stream tag.
+template <graph::Topology T>
+PropertyResult run_property_walk_vector(const T& topo,
+                                        const DensityConfig& cfg,
+                                        const std::vector<bool>& has_property,
+                                        std::uint64_t seed,
+                                        VectorExec exec = {}) {
+  cfg.validate();
+  ANTDENSE_CHECK(has_property.size() == cfg.num_agents,
+                 "property flags must match agent count");
+  PropertyObserver observer(has_property);
+  run_walk_vector(
+      topo, cfg.walk_config(), rng::derive_seed(seed, 0x52u), exec,
+      static_cast<const std::vector<typename T::node_type>*>(nullptr),
+      observer);
+
+  PropertyResult result;
+  result.total_counts = observer.take_total_counts();
+  result.property_counts = observer.take_property_counts();
+  result.rounds = cfg.rounds;
+  result.num_nodes = topo.num_nodes();
+  return result;
+}
+
+}  // namespace antdense::sim

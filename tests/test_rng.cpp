@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "rng/random.hpp"
@@ -86,6 +87,21 @@ TEST(UniformBelow, BoundOneAlwaysZero) {
   for (int i = 0; i < 50; ++i) {
     EXPECT_EQ(uniform_below(gen, 1), 0u);
   }
+}
+
+TEST(UniformBelow, BoundZeroIsGuardedNotDivisionByZero) {
+  // bound == 0 violates the documented precondition.  It used to divide
+  // by zero computing the rejection threshold; now debug builds throw
+  // the assertion and release builds return 0 deterministically, and in
+  // both cases no word is consumed from the generator.
+  Xoshiro256pp gen(9);
+  Xoshiro256pp untouched(9);
+#ifdef NDEBUG
+  EXPECT_EQ(uniform_below(gen, 0), 0u);
+#else
+  EXPECT_THROW(uniform_below(gen, 0), std::logic_error);
+#endif
+  EXPECT_EQ(gen(), untouched());
 }
 
 TEST(UniformBelow, ChiSquareUniformity) {

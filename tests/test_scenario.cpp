@@ -381,11 +381,13 @@ TEST(ScenarioSpecIdentity, SubstantiveFieldsDoSplitTheIdentity) {
 // Engine mode: parsing, round-trip, identity
 // ---------------------------------------------------------------------
 
-TEST(EngineMode, ParsesAndNamesBothModes) {
+TEST(EngineMode, ParsesAndNamesAllModes) {
   EXPECT_EQ(parse_engine_mode("single"), EngineMode::kSingleStream);
   EXPECT_EQ(parse_engine_mode("sharded"), EngineMode::kSharded);
+  EXPECT_EQ(parse_engine_mode("vector"), EngineMode::kVector);
   EXPECT_EQ(engine_mode_name(EngineMode::kSingleStream), "single");
   EXPECT_EQ(engine_mode_name(EngineMode::kSharded), "sharded");
+  EXPECT_EQ(engine_mode_name(EngineMode::kVector), "vector");
   EXPECT_THROW(parse_engine_mode("warp"), std::invalid_argument);
   EXPECT_THROW(parse_engine_mode(""), std::invalid_argument);
 }
@@ -396,6 +398,11 @@ TEST(EngineMode, RoundTripsThroughFlagsAndJson) {
       ScenarioSpec::from_args(util::Args(2, argv));
   EXPECT_EQ(from_flags.engine, EngineMode::kSharded);
 
+  const char* argv_vec[] = {"prog", "--engine=vector"};
+  const ScenarioSpec vec_flags =
+      ScenarioSpec::from_args(util::Args(2, argv_vec));
+  EXPECT_EQ(vec_flags.engine, EngineMode::kVector);
+
   const ScenarioSpec from_json = ScenarioSpec::from_json(
       util::JsonValue::parse(R"({"engine": "sharded"})"));
   EXPECT_EQ(from_json.engine, EngineMode::kSharded);
@@ -403,6 +410,11 @@ TEST(EngineMode, RoundTripsThroughFlagsAndJson) {
   // to_json emits the mode, and parsing it back preserves it.
   const ScenarioSpec back = ScenarioSpec::from_json(from_json.to_json());
   EXPECT_EQ(back.engine, EngineMode::kSharded);
+
+  const ScenarioSpec vec_back = ScenarioSpec::from_json(
+      util::JsonValue::parse(R"({"engine": "vector"})"));
+  EXPECT_EQ(ScenarioSpec::from_json(vec_back.to_json()).engine,
+            EngineMode::kVector);
 
   const ScenarioSpec defaulted;
   EXPECT_EQ(defaulted.engine, EngineMode::kSingleStream);
