@@ -27,6 +27,7 @@
 #include "campaign/spec.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
+#include "util/signal.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -116,7 +117,14 @@ int cmd_run(const util::Args& args, bool resume) {
                                 "campaign)");
   }
 
+  // SIGINT/SIGTERM interrupt cleanly: the flag trips the scheduler's
+  // should_stop, in-flight experiments finish and journal, and the run
+  // exits 3 with everything else counted as remaining — resumable
+  // exactly like a --max-experiments cap.
+  util::install_termination_handlers();
+
   campaign::RunOptions options;
+  options.should_stop = [] { return util::termination_requested(); };
   options.threads =
       static_cast<unsigned>(args.get_uint("threads", spec.threads));
   options.inner_threads =
@@ -145,7 +153,12 @@ int cmd_run(const util::Args& args, bool resume) {
             << report.executed << " executed, " << report.remaining
             << " remaining in "
             << util::format_fixed(report.elapsed_seconds, 2) << " s\n";
-  return report.remaining == 0 ? 0 : 3;  // 3 = interrupted by --max
+  if (util::termination_requested()) {
+    std::cerr << "antdense_sweep: interrupted by signal "
+              << util::termination_signal()
+              << "; journal flushed — rerun the same command to resume\n";
+  }
+  return report.remaining == 0 ? 0 : 3;  // 3 = interrupted (--max or signal)
 }
 
 int cmd_expand(const util::Args& args) {

@@ -132,9 +132,14 @@ RunReport run_campaign(const CampaignSpec& campaign,
           options.on_complete(p, done_now, pending.size());
         }
       },
-      threads);
+      threads, options.should_stop);
 
   report.executed = completed.load();
+  // Experiments neither journaled before this invocation, capped away,
+  // nor executed now are remaining — nonzero exactly when should_stop
+  // (or the cap above) cut the run short, which is what drives
+  // antdense_sweep's interrupted exit code.
+  report.remaining += pending.size() - report.executed;
   report.elapsed_seconds = timer.elapsed_seconds();
   return report;
 }

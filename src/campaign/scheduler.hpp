@@ -50,6 +50,14 @@ struct RunOptions {
   /// thread-budget clamp message when a campaign asks for more total
   /// threads than the hardware has).  Unset = diagnostics are dropped.
   std::function<void(const std::string&)> on_diagnostic;
+  /// Cooperative cancellation, polled by each worker before it claims
+  /// the next experiment (util::parallel_for_stoppable's should_stop).
+  /// Wire util::termination_requested here and SIGINT/SIGTERM turn into
+  /// a clean interrupt: in-flight experiments finish and journal, the
+  /// rest count as `remaining`, and the journal tail stays whole — so
+  /// the resume story is identical to a --max-experiments cap.  Must be
+  /// callable concurrently (keep it a flag read).
+  std::function<bool()> should_stop;
 };
 
 struct RunReport {

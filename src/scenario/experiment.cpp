@@ -1,6 +1,7 @@
 #include "scenario/experiment.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <utility>
 
@@ -47,6 +48,53 @@ ScenarioSummary summarize(const std::vector<double>& estimates,
                            static_cast<double>(estimates.size());
   return s;
 }
+
+/// Round-grained progress tap for the single-walk workloads.  Its only
+/// hook is end_round, which all three engines fire serially, and it
+/// draws no randomness — so riding it alongside the workload observers
+/// leaves every result stream bit-identical to the plain run.
+struct RoundProgressObserver {
+  RoundProgressObserver(const ProgressHooks& hooks, std::uint64_t total_rounds)
+      : hooks_(hooks), total_(total_rounds) {
+    stride_ = hooks.round_stride != 0
+                  ? hooks.round_stride
+                  : static_cast<std::uint32_t>(
+                        std::max<std::uint64_t>(1, total_rounds / 64));
+  }
+
+  void end_round(std::uint32_t round) {
+    if (hooks_.on_progress && (round % stride_ == 0 || round == total_)) {
+      hooks_.on_progress(round, total_);
+    }
+  }
+
+ private:
+  const ProgressHooks& hooks_;
+  std::uint64_t total_;
+  std::uint32_t stride_;
+};
+
+/// Trial-grained progress tap for the fan-out workloads: one tick per
+/// finished trial, reported from whichever worker ran it.
+struct TrialProgress {
+  TrialProgress(const ProgressHooks& hooks, std::uint64_t total_trials)
+      : hooks_(hooks), total_(total_trials) {}
+
+  std::function<void(std::size_t)> callback() {
+    if (!hooks_.on_progress) {
+      return {};
+    }
+    return [this](std::size_t) {
+      hooks_.on_progress(done_.fetch_add(1, std::memory_order_relaxed) + 1,
+                         total_);
+    };
+  }
+
+ private:
+  const ProgressHooks& hooks_;
+  std::uint64_t total_;
+  std::atomic<std::uint64_t> done_{0};
+};
 
 sim::DensityConfig density_config(const ScenarioSpec& spec) {
   sim::DensityConfig cfg;
@@ -103,6 +151,7 @@ util::JsonValue ScenarioResult::to_json() const {
   doc.set("series", series_doc);
 
   doc.set("elapsed_seconds", elapsed_seconds);
+  doc.set("elapsed_ns", elapsed_ns);
   return doc;
 }
 
@@ -133,7 +182,9 @@ Experiment::Experiment(ScenarioSpec spec, const Registry& registry)
   }
 }
 
-ScenarioResult Experiment::run() const {
+ScenarioResult Experiment::run() const { return run(ProgressHooks{}); }
+
+ScenarioResult Experiment::run(const ProgressHooks& hooks) const {
   util::WallTimer timer;
   ScenarioResult result;
   result.spec = spec_;
@@ -151,37 +202,45 @@ ScenarioResult Experiment::run() const {
       // outs parallelize across trials and run each walk's shards
       // serially — the estimates are identical either way.
       if (spec_.trials == 1) {
+        RoundProgressObserver progress(hooks, spec_.rounds);
         switch (spec_.engine) {
           case EngineMode::kSharded:
             result.estimates =
                 sim::run_density_walk_sharded(
                     topo_, density_config(spec_), spec_.seed,
-                    sim::ShardExec{.threads = spec_.threads})
+                    sim::ShardExec{.threads = spec_.threads}, nullptr,
+                    progress)
                     .estimates();
             break;
           case EngineMode::kVector:
-            result.estimates = sim::run_density_walk_vector(
-                                   topo_, density_config(spec_), spec_.seed)
-                                   .estimates();
+            result.estimates =
+                sim::run_density_walk_vector(topo_, density_config(spec_),
+                                             spec_.seed, sim::VectorExec{},
+                                             nullptr, progress)
+                    .estimates();
             break;
           case EngineMode::kSingleStream:
-            result.estimates = sim::run_density_walk(
-                                   topo_, density_config(spec_), spec_.seed)
-                                   .estimates();
+            result.estimates =
+                sim::run_density_walk(topo_, density_config(spec_),
+                                      spec_.seed, nullptr, progress)
+                    .estimates();
             break;
         }
-      } else if (spec_.engine == EngineMode::kSharded) {
-        result.estimates = sim::collect_all_agent_estimates_sharded(
-            topo_, density_config(spec_), spec_.seed, spec_.trials,
-            spec_.threads);
-      } else if (spec_.engine == EngineMode::kVector) {
-        result.estimates = sim::collect_all_agent_estimates_vector(
-            topo_, density_config(spec_), spec_.seed, spec_.trials,
-            spec_.threads);
       } else {
-        result.estimates = sim::collect_all_agent_estimates(
-            topo_, density_config(spec_), spec_.seed, spec_.trials,
-            spec_.threads);
+        TrialProgress progress(hooks, spec_.trials);
+        if (spec_.engine == EngineMode::kSharded) {
+          result.estimates = sim::collect_all_agent_estimates_sharded(
+              topo_, density_config(spec_), spec_.seed, spec_.trials,
+              spec_.threads, progress.callback());
+        } else if (spec_.engine == EngineMode::kVector) {
+          result.estimates = sim::collect_all_agent_estimates_vector(
+              topo_, density_config(spec_), spec_.seed, spec_.trials,
+              spec_.threads, progress.callback());
+        } else {
+          result.estimates = sim::collect_all_agent_estimates(
+              topo_, density_config(spec_), spec_.seed, spec_.trials,
+              spec_.threads, progress.callback());
+        }
       }
       break;
     }
@@ -194,6 +253,9 @@ ScenarioResult Experiment::run() const {
           std::lround(spec_.property_fraction * spec_.agents));
       std::vector<std::vector<double>> per_trial(spec_.trials);
       double truth = 0.0;
+      TrialProgress progress(hooks, spec_.trials);
+      const std::function<void(std::size_t)> on_trial_done =
+          progress.callback();
       util::parallel_for(
           spec_.trials,
           [&](std::size_t trial) {
@@ -235,6 +297,9 @@ ScenarioResult Experiment::run() const {
               truth = static_cast<double>(num_property) /
                       static_cast<double>(spec_.agents - 1);
             }
+            if (on_trial_done) {
+              on_trial_done(trial);
+            }
           },
           spec_.threads);
       result.true_value = truth;
@@ -257,22 +322,23 @@ ScenarioResult Experiment::run() const {
       cfg.num_agents = spec_.agents;
       cfg.rounds = result.checkpoints.back();
       cfg.lazy_probability = spec_.lazy_probability;
+      RoundProgressObserver progress(hooks, cfg.rounds);
       if (spec_.engine == EngineMode::kSharded) {
         sim::run_walk_sharded(
             topo_, cfg, rng::derive_seed(spec_.seed, 0x7124u),
             sim::ShardExec{.threads = spec_.threads},
             static_cast<const std::vector<std::uint64_t>*>(nullptr), counts,
-            trajectory);
+            trajectory, progress);
       } else if (spec_.engine == EngineMode::kVector) {
         sim::run_walk_vector(
             topo_, cfg, rng::derive_seed(spec_.seed, 0x7124u),
             sim::VectorExec{},
             static_cast<const std::vector<std::uint64_t>*>(nullptr), counts,
-            trajectory);
+            trajectory, progress);
       } else {
         sim::run_walk(topo_, cfg, rng::derive_seed(spec_.seed, 0x7124u),
                       static_cast<const std::vector<std::uint64_t>*>(nullptr),
-                      counts, trajectory);
+                      counts, trajectory, progress);
       }
       result.series = trajectory.take_estimates();
       for (const auto& trace : result.series) {
@@ -289,20 +355,23 @@ ScenarioResult Experiment::run() const {
       cfg.num_agents = spec_.agents;
       cfg.rounds = result.checkpoints.back();
       cfg.lazy_probability = spec_.lazy_probability;
+      RoundProgressObserver progress(hooks, cfg.rounds);
       if (spec_.engine == EngineMode::kSharded) {
         sim::run_walk_sharded(
             topo_, cfg, rng::derive_seed(spec_.seed, 0x10Du),
             sim::ShardExec{.threads = spec_.threads},
-            static_cast<const std::vector<std::uint64_t>*>(nullptr), balls);
+            static_cast<const std::vector<std::uint64_t>*>(nullptr), balls,
+            progress);
       } else if (spec_.engine == EngineMode::kVector) {
         sim::run_walk_vector(
             topo_, cfg, rng::derive_seed(spec_.seed, 0x10Du),
             sim::VectorExec{},
-            static_cast<const std::vector<std::uint64_t>*>(nullptr), balls);
+            static_cast<const std::vector<std::uint64_t>*>(nullptr), balls,
+            progress);
       } else {
         sim::run_walk(topo_, cfg, rng::derive_seed(spec_.seed, 0x10Du),
                       static_cast<const std::vector<std::uint64_t>*>(nullptr),
-                      balls);
+                      balls, progress);
       }
       const std::vector<std::vector<double>> densities =
           balls.take_densities();
@@ -320,6 +389,7 @@ ScenarioResult Experiment::run() const {
 
   result.summary = summarize(result.estimates, result.true_value, spec_.eps);
   result.elapsed_seconds = timer.elapsed_seconds();
+  result.elapsed_ns = timer.elapsed_nanos();
   return result;
 }
 

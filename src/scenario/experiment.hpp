@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -60,8 +61,27 @@ struct ScenarioResult {
   std::vector<std::uint32_t> checkpoints;
   std::vector<std::vector<double>> series;
   double elapsed_seconds = 0.0;
+  /// Wall-clock nanoseconds for the run — finer-grained twin of
+  /// elapsed_seconds, surfaced as the optional `elapsed_ns` result key.
+  /// Timing only: never part of the spec's identity_json.
+  std::uint64_t elapsed_ns = 0;
 
   util::JsonValue to_json() const;
+};
+
+/// Optional progress tap for Experiment::run.  `on_progress(done, total)`
+/// reports completed work units out of a fixed total — rounds for the
+/// single-walk workloads (density trials==1, trajectory, local-density),
+/// trials for the fan-out workloads (density trials>1, property).  Calls
+/// may arrive from worker threads (trial fan-outs) but never concurrently
+/// with themselves for round-level taps (end_round is serial in all three
+/// engines).  The hooks observe execution without touching any RNG
+/// stream, so results stay bit-identical with or without them.
+struct ProgressHooks {
+  std::function<void(std::uint64_t done, std::uint64_t total)> on_progress;
+  /// Report every `round_stride` rounds (and always at the final round);
+  /// 0 picks max(1, total/64).  Ignored for trial-grained workloads.
+  std::uint32_t round_stride = 0;
 };
 
 class Experiment {
@@ -77,6 +97,7 @@ class Experiment {
   const graph::AnyTopology& topology() const { return topo_; }
 
   ScenarioResult run() const;
+  ScenarioResult run(const ProgressHooks& hooks) const;
 
  private:
   ScenarioSpec spec_;

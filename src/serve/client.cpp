@@ -1,0 +1,73 @@
+#include "serve/client.hpp"
+
+#include <stdexcept>
+
+#include "serve/protocol.hpp"
+
+namespace antdense::serve {
+
+Client::Client(std::uint16_t port)
+    : socket_(util::Socket::connect_loopback(port)) {}
+
+util::JsonValue Client::request(const util::JsonValue& envelope,
+                                const ProgressFn& on_progress) {
+  if (!write_frame_json(socket_, envelope)) {
+    throw std::runtime_error("serve connection closed before the request "
+                             "could be sent");
+  }
+  std::string payload;
+  while (true) {
+    const FrameStatus status = read_frame(socket_, payload);
+    if (status != FrameStatus::kOk) {
+      throw std::runtime_error(std::string("serve connection lost awaiting "
+                                           "a response (") +
+                               frame_status_name(status) + ")");
+    }
+    util::JsonValue response = util::JsonValue::parse(payload);
+    if (envelope_type(response) == "progress") {
+      if (on_progress) {
+        const util::JsonValue* done = response.find("done");
+        const util::JsonValue* total = response.find("total");
+        on_progress(done != nullptr ? done->as_uint() : 0,
+                    total != nullptr ? total->as_uint() : 0);
+      }
+      continue;
+    }
+    return response;
+  }
+}
+
+util::JsonValue Client::run(const util::JsonValue& spec, bool want_progress,
+                            const ProgressFn& on_progress) {
+  util::JsonValue envelope = make_envelope("run");
+  envelope.set("spec", spec);
+  if (want_progress) {
+    envelope.set("progress", true);
+  }
+  return request(envelope, on_progress);
+}
+
+util::JsonValue Client::sweep(const util::JsonValue& campaign,
+                              bool want_progress,
+                              const ProgressFn& on_progress) {
+  util::JsonValue envelope = make_envelope("sweep");
+  envelope.set("campaign", campaign);
+  if (want_progress) {
+    envelope.set("progress", true);
+  }
+  return request(envelope, on_progress);
+}
+
+util::JsonValue Client::cache_stats() {
+  return request(make_envelope("cache_stats"));
+}
+
+util::JsonValue Client::server_info() {
+  return request(make_envelope("server_info"));
+}
+
+util::JsonValue Client::shutdown() {
+  return request(make_envelope("shutdown"));
+}
+
+}  // namespace antdense::serve

@@ -1,0 +1,111 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace antdense::serve {
+
+const char* frame_status_name(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kOk:
+      return "ok";
+    case FrameStatus::kClosed:
+      return "closed";
+    case FrameStatus::kBadMagic:
+      return "bad magic";
+    case FrameStatus::kOversized:
+      return "oversized frame";
+    case FrameStatus::kTruncated:
+      return "truncated frame";
+  }
+  return "unknown";
+}
+
+bool write_frame(util::Socket& socket, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::invalid_argument("serve frame payload exceeds " +
+                                std::to_string(kMaxFrameBytes) + " bytes");
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  unsigned char header[8];
+  std::memcpy(header, kFrameMagic, 4);
+  header[4] = static_cast<unsigned char>(length & 0xFF);
+  header[5] = static_cast<unsigned char>((length >> 8) & 0xFF);
+  header[6] = static_cast<unsigned char>((length >> 16) & 0xFF);
+  header[7] = static_cast<unsigned char>((length >> 24) & 0xFF);
+  // One buffer, one send: a frame must never interleave with another
+  // thread's frame on the same socket (callers hold a per-connection
+  // send lock, but a single syscall also keeps the common case cheap).
+  std::string wire;
+  wire.reserve(sizeof header + payload.size());
+  wire.append(reinterpret_cast<const char*>(header), sizeof header);
+  wire.append(payload);
+  return socket.send_all(wire.data(), wire.size());
+}
+
+bool write_frame_json(util::Socket& socket, const util::JsonValue& doc) {
+  return write_frame(socket, doc.dump(0));
+}
+
+FrameStatus read_frame(util::Socket& socket, std::string& payload) {
+  payload.clear();
+  unsigned char header[8];
+  // Distinguish "peer finished cleanly" (EOF at a frame boundary) from
+  // "peer vanished mid-frame": probe the first byte alone.
+  if (!socket.recv_all(header, 1)) {
+    return FrameStatus::kClosed;
+  }
+  if (!socket.recv_all(header + 1, sizeof header - 1)) {
+    return FrameStatus::kTruncated;
+  }
+  if (std::memcmp(header, kFrameMagic, 4) != 0) {
+    return FrameStatus::kBadMagic;
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(header[4]) |
+                               (static_cast<std::uint32_t>(header[5]) << 8) |
+                               (static_cast<std::uint32_t>(header[6]) << 16) |
+                               (static_cast<std::uint32_t>(header[7]) << 24);
+  if (length > kMaxFrameBytes) {
+    return FrameStatus::kOversized;
+  }
+  payload.resize(length);
+  if (length > 0 && !socket.recv_all(payload.data(), length)) {
+    payload.clear();
+    return FrameStatus::kTruncated;
+  }
+  return FrameStatus::kOk;
+}
+
+util::JsonValue make_envelope(const std::string& type) {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("schema", kServeSchema);
+  doc.set("type", type);
+  return doc;
+}
+
+util::JsonValue make_error(const std::string& message) {
+  util::JsonValue doc = make_envelope("error");
+  doc.set("message", message);
+  return doc;
+}
+
+std::string envelope_type(const util::JsonValue& doc) {
+  if (!doc.is_object()) {
+    throw std::invalid_argument("serve message must be a JSON object");
+  }
+  const util::JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kServeSchema) {
+    throw std::invalid_argument(std::string("serve message must carry "
+                                            "\"schema\": \"") +
+                                kServeSchema + "\"");
+  }
+  const util::JsonValue* type = doc.find("type");
+  if (type == nullptr || !type->is_string() || type->as_string().empty()) {
+    throw std::invalid_argument(
+        "serve message must carry a non-empty string \"type\"");
+  }
+  return type->as_string();
+}
+
+}  // namespace antdense::serve

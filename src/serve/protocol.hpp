@@ -1,0 +1,81 @@
+// The wire protocol of the serve layer (schema "antdense.serve.v1").
+//
+// Transport framing: every message is one frame —
+//
+//   bytes 0..3   magic "ANTD"
+//   bytes 4..7   payload length, unsigned 32-bit little-endian
+//   bytes 8..    payload: one UTF-8 JSON document
+//
+// The magic makes a stray client speaking the wrong protocol fail at
+// byte 0 instead of being misread as a gigantic length; the length cap
+// (kMaxFrameBytes) bounds what a malicious or broken peer can make the
+// daemon allocate.  Framing violations are connection-fatal (the stream
+// position is unrecoverable); a payload that frames correctly but fails
+// to parse as JSON only fails that one request.
+//
+// Envelope: every payload is a JSON object with
+//   "schema": "antdense.serve.v1"
+//   "type":   request —  "run" | "sweep" | "cache_stats" |
+//                        "server_info" | "shutdown"
+//             response — "result" | "sweep_result" | "progress" |
+//                        "cache_stats" | "server_info" |
+//                        "shutdown_ack" | "error"
+// plus type-specific keys (serve::Server documents each).  Versioning
+// is the schema string: a breaking change mints "antdense.serve.v2",
+// and v1 peers reject it with a readable error instead of misparsing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/json.hpp"
+#include "util/socket.hpp"
+
+namespace antdense::serve {
+
+inline constexpr const char* kServeSchema = "antdense.serve.v1";
+
+/// Frame magic, in wire order.
+inline constexpr unsigned char kFrameMagic[4] = {'A', 'N', 'T', 'D'};
+
+/// Upper bound on one frame's payload.  Large enough for any result
+/// document the repo emits (estimates scale with agents x trials), small
+/// enough that a hostile length field cannot OOM the daemon.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// What read_frame observed.  Everything except kOk / kClosed is a
+/// framing violation: the byte stream can no longer be trusted, so the
+/// server answers with one error frame and drops the connection.
+enum class FrameStatus {
+  kOk,         // payload filled
+  kClosed,     // clean EOF before any frame byte (peer finished)
+  kBadMagic,   // first four bytes are not "ANTD"
+  kOversized,  // declared length exceeds kMaxFrameBytes
+  kTruncated,  // peer vanished mid-frame
+};
+
+const char* frame_status_name(FrameStatus status);
+
+/// Writes one frame; false when the peer is gone (never throws for
+/// that).  Throws std::invalid_argument when payload exceeds
+/// kMaxFrameBytes — that is a caller bug, not a peer condition.
+bool write_frame(util::Socket& socket, const std::string& payload);
+
+/// Serializes `doc` compactly and writes it as one frame.
+bool write_frame_json(util::Socket& socket, const util::JsonValue& doc);
+
+/// Reads one frame into `payload` (cleared first).
+FrameStatus read_frame(util::Socket& socket, std::string& payload);
+
+/// A fresh envelope: {"schema": kServeSchema, "type": type}.
+util::JsonValue make_envelope(const std::string& type);
+
+/// An "error" envelope with a human-readable message.
+util::JsonValue make_error(const std::string& message);
+
+/// Validates the envelope (object, schema string matches) and returns
+/// its "type"; throws std::invalid_argument with a message suitable for
+/// an error response otherwise.
+std::string envelope_type(const util::JsonValue& doc);
+
+}  // namespace antdense::serve

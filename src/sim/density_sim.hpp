@@ -94,16 +94,22 @@ struct DensityResult {
 /// must hold num_agents nodes (used by the non-uniform-placement
 /// experiments); otherwise agents start i.i.d. uniform, as the paper
 /// assumes.  Deterministic in `seed`.
-template <graph::Topology T>
+///
+/// `extra` observers ride after the CollisionObserver in pack order
+/// (the scenario layer attaches its round-progress observer here); an
+/// extra observer that draws no randomness leaves the result stream
+/// bit-identical to the plain call.
+template <graph::Topology T, typename... Extra>
 DensityResult run_density_walk(
     const T& topo, const DensityConfig& cfg, std::uint64_t seed,
-    const std::vector<typename T::node_type>* initial_positions = nullptr) {
+    const std::vector<typename T::node_type>* initial_positions = nullptr,
+    Extra&... extra) {
   cfg.validate();
   CollisionObserver observer(
       cfg.num_agents, {.detection_miss = cfg.detection_miss_probability,
                        .spurious = cfg.spurious_collision_probability});
   run_walk(topo, cfg.walk_config(), rng::derive_seed(seed, 0x51u),
-           initial_positions, observer);
+           initial_positions, observer, extra...);
 
   DensityResult result;
   result.collision_counts = observer.take_counts();

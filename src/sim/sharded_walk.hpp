@@ -229,19 +229,21 @@ void run_walk_sharded(const T& topo, const WalkConfig& cfg,
 }
 
 /// Algorithm 1 on the sharded engine: run_density_walk's contract
-/// (same seed tag, same result packaging) on the sharded stream.
-/// Deterministic in (seed, cfg, exec.shard_size) for any exec.threads.
-template <graph::Topology T>
+/// (same seed tag, same result packaging, same trailing `extra`
+/// observer support) on the sharded stream.  Deterministic in
+/// (seed, cfg, exec.shard_size) for any exec.threads.
+template <graph::Topology T, typename... Extra>
 DensityResult run_density_walk_sharded(
     const T& topo, const DensityConfig& cfg, std::uint64_t seed,
     const ShardExec& exec,
-    const std::vector<typename T::node_type>* initial_positions = nullptr) {
+    const std::vector<typename T::node_type>* initial_positions = nullptr,
+    Extra&... extra) {
   cfg.validate();
   CollisionObserver observer(
       cfg.num_agents, {.detection_miss = cfg.detection_miss_probability,
                        .spurious = cfg.spurious_collision_probability});
   run_walk_sharded(topo, cfg.walk_config(), rng::derive_seed(seed, 0x51u),
-                   exec, initial_positions, observer);
+                   exec, initial_positions, observer, extra...);
 
   DensityResult result;
   result.collision_counts = observer.take_counts();

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "graph/topology.hpp"
@@ -29,16 +30,24 @@ namespace antdense::sim {
 namespace detail {
 
 /// Shared trial fan-out: runs run_trial(trial) -> per-agent estimates in
-/// parallel and concatenates the results in trial order.
+/// parallel and concatenates the results in trial order.  When set,
+/// `on_trial_done(trial)` fires from the worker that finished that trial
+/// (concurrently across workers) — a progress tap, never part of the
+/// result.
 template <typename RunTrialFn>
-std::vector<double> pool_trial_estimates(std::uint32_t trials,
-                                         std::uint32_t num_agents,
-                                         unsigned threads,
-                                         RunTrialFn&& run_trial) {
+std::vector<double> pool_trial_estimates(
+    std::uint32_t trials, std::uint32_t num_agents, unsigned threads,
+    RunTrialFn&& run_trial,
+    const std::function<void(std::size_t)>& on_trial_done = {}) {
   std::vector<std::vector<double>> per_trial(trials);
   util::parallel_for(
       trials,
-      [&](std::size_t trial) { per_trial[trial] = run_trial(trial); },
+      [&](std::size_t trial) {
+        per_trial[trial] = run_trial(trial);
+        if (on_trial_done) {
+          on_trial_done(trial);
+        }
+      },
       threads);
   std::vector<double> all;
   all.reserve(static_cast<std::size_t>(trials) * num_agents);
@@ -51,16 +60,17 @@ std::vector<double> pool_trial_estimates(std::uint32_t trials,
 }  // namespace detail
 
 template <graph::Topology T>
-std::vector<double> collect_all_agent_estimates(const T& topo,
-                                                const DensityConfig& cfg,
-                                                std::uint64_t root_seed,
-                                                std::uint32_t trials,
-                                                unsigned threads = 0) {
+std::vector<double> collect_all_agent_estimates(
+    const T& topo, const DensityConfig& cfg, std::uint64_t root_seed,
+    std::uint32_t trials, unsigned threads = 0,
+    const std::function<void(std::size_t)>& on_trial_done = {}) {
   return detail::pool_trial_estimates(
-      trials, cfg.num_agents, threads, [&](std::size_t trial) {
+      trials, cfg.num_agents, threads,
+      [&](std::size_t trial) {
         return run_density_walk(topo, cfg, rng::derive_seed(root_seed, trial))
             .estimates();
-      });
+      },
+      on_trial_done);
 }
 
 /// collect_all_agent_estimates on the sharded engine: same per-trial
@@ -68,14 +78,17 @@ std::vector<double> collect_all_agent_estimates(const T& topo,
 template <graph::Topology T>
 std::vector<double> collect_all_agent_estimates_sharded(
     const T& topo, const DensityConfig& cfg, std::uint64_t root_seed,
-    std::uint32_t trials, unsigned threads = 0) {
+    std::uint32_t trials, unsigned threads = 0,
+    const std::function<void(std::size_t)>& on_trial_done = {}) {
   return detail::pool_trial_estimates(
-      trials, cfg.num_agents, threads, [&](std::size_t trial) {
+      trials, cfg.num_agents, threads,
+      [&](std::size_t trial) {
         return run_density_walk_sharded(topo, cfg,
                                         rng::derive_seed(root_seed, trial),
                                         ShardExec{.threads = 1})
             .estimates();
-      });
+      },
+      on_trial_done);
 }
 
 /// collect_all_agent_estimates on the vector engine: same per-trial
@@ -83,13 +96,16 @@ std::vector<double> collect_all_agent_estimates_sharded(
 template <graph::Topology T>
 std::vector<double> collect_all_agent_estimates_vector(
     const T& topo, const DensityConfig& cfg, std::uint64_t root_seed,
-    std::uint32_t trials, unsigned threads = 0) {
+    std::uint32_t trials, unsigned threads = 0,
+    const std::function<void(std::size_t)>& on_trial_done = {}) {
   return detail::pool_trial_estimates(
-      trials, cfg.num_agents, threads, [&](std::size_t trial) {
+      trials, cfg.num_agents, threads,
+      [&](std::size_t trial) {
         return run_density_walk_vector(topo, cfg,
                                        rng::derive_seed(root_seed, trial))
             .estimates();
-      });
+      },
+      on_trial_done);
 }
 
 template <graph::Topology T>

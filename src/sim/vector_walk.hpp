@@ -180,18 +180,20 @@ void run_walk_vector(
 }
 
 /// run_density_walk on the vector engine: same 0x51 stream tag, same
-/// observer, vector movement stream.
-template <graph::Topology T>
+/// observer, same trailing `extra` observer support, vector movement
+/// stream.
+template <graph::Topology T, typename... Extra>
 DensityResult run_density_walk_vector(
     const T& topo, const DensityConfig& cfg, std::uint64_t seed,
     VectorExec exec = {},
-    const std::vector<typename T::node_type>* initial_positions = nullptr) {
+    const std::vector<typename T::node_type>* initial_positions = nullptr,
+    Extra&... extra) {
   cfg.validate();
   CollisionObserver observer(
       cfg.num_agents, {.detection_miss = cfg.detection_miss_probability,
                        .spurious = cfg.spurious_collision_probability});
   run_walk_vector(topo, cfg.walk_config(), rng::derive_seed(seed, 0x51u),
-                  exec, initial_positions, observer);
+                  exec, initial_positions, observer, extra...);
 
   DensityResult result;
   result.collision_counts = observer.take_counts();

@@ -452,6 +452,19 @@ const JsonValue* JsonValue::find(const std::string& key) const {
   return nullptr;
 }
 
+bool JsonValue::erase(const std::string& key) {
+  if (kind_ != Kind::kObject) {
+    return false;
+  }
+  for (auto it = object_.begin(); it != object_.end(); ++it) {
+    if (it->first == key) {
+      object_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 void JsonValue::dump_to(std::string& out, int indent, int depth) const {
   const std::string pad(indent > 0 ? static_cast<std::size_t>(indent) *
                                          (static_cast<std::size_t>(depth) + 1)

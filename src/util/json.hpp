@@ -80,6 +80,11 @@ class JsonValue {
   JsonValue& set(const std::string& key, JsonValue v);
   /// Object member lookup; nullptr when absent or not an object.
   const JsonValue* find(const std::string& key) const;
+  /// Removes a key from an object (order of the others is preserved);
+  /// returns whether it was present.  No-op false on non-objects — the
+  /// serve layer strips optional keys (timings) without caring whether a
+  /// given document carried them.
+  bool erase(const std::string& key);
 
   /// Serializes the value.  indent > 0 pretty-prints with that many
   /// spaces per level; indent == 0 emits compact single-line JSON.

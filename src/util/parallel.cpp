@@ -67,7 +67,7 @@ void parallel_for(std::size_t num_tasks,
 void parallel_for_stoppable(
     std::size_t num_tasks,
     const std::function<void(std::size_t, std::stop_token)>& fn,
-    unsigned num_threads) {
+    unsigned num_threads, const std::function<bool()>& should_stop) {
   if (num_threads == 0) {
     num_threads = default_thread_count();
   }
@@ -83,6 +83,10 @@ void parallel_for_stoppable(
 
   auto worker = [&](std::stop_token token) {
     while (!token.stop_requested()) {
+      if (should_stop && should_stop()) {
+        stop.request_stop();
+        return;
+      }
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_tasks) {
         return;

@@ -39,9 +39,16 @@ void parallel_for(std::size_t num_tasks,
 /// already started still finish (a campaign journals each completed
 /// experiment, so a partial pass must leave only whole records behind).
 /// The first exception is rethrown after all workers join.
+///
+/// `should_stop`, when set, is polled by each worker before it claims
+/// another index; the first true return trips the pool's stop flag —
+/// the hook that lets a signal handler's flag (util/signal.hpp) or a
+/// server shutdown cancel a queue without aborting in-flight tasks.
+/// Workers may call the predicate concurrently, so keep it a flag read.
 void parallel_for_stoppable(
     std::size_t num_tasks,
     const std::function<void(std::size_t, std::stop_token)>& fn,
-    unsigned num_threads = 0);
+    unsigned num_threads = 0,
+    const std::function<bool()>& should_stop = {});
 
 }  // namespace antdense::util

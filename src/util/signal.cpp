@@ -1,0 +1,93 @@
+#include "util/signal.hpp"
+
+#include <csignal>
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace antdense::util {
+
+namespace {
+
+// The pipe fds live in plain ints (not a WakePipe) because the handler
+// must touch nothing that could allocate or lock; they are created once
+// and never closed (they die with the process).
+std::atomic<int> g_signal{0};
+int g_pipe_read = -1;
+int g_pipe_write = -1;
+volatile std::sig_atomic_t g_flag = 0;
+
+extern "C" void termination_handler(int signum) {
+  if (g_flag != 0) {
+    // Second Ctrl-C: the user means it.  Restore default and re-raise.
+    std::signal(signum, SIG_DFL);
+    std::raise(signum);
+    return;
+  }
+  g_flag = 1;
+  g_signal.store(signum, std::memory_order_relaxed);
+  if (g_pipe_write >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(g_pipe_write, &byte, 1);
+  }
+}
+
+}  // namespace
+
+void install_termination_handlers() {
+  if (g_pipe_read < 0) {
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) == 0) {
+      g_pipe_read = fds[0];
+      g_pipe_write = fds[1];
+    }
+  }
+  struct sigaction action {};
+  action.sa_handler = termination_handler;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART keeps unrelated blocking syscalls (file reads, accept on
+  // other threads) from failing with EINTR; poll() is exempt from
+  // restarting by POSIX, so wait_for_termination still wakes.
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+bool termination_requested() { return g_flag != 0; }
+
+int termination_signal() {
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+int termination_wake_fd() { return g_pipe_read; }
+
+void wait_for_termination() {
+  while (!termination_requested()) {
+    if (g_pipe_read < 0) {
+      // No pipe (install failed?): degrade to a coarse sleep-poll.
+      ::usleep(50 * 1000);
+      continue;
+    }
+    pollfd fd;
+    fd.fd = g_pipe_read;
+    fd.events = POLLIN;
+    ::poll(&fd, 1, 500);  // finite timeout guards a missed wakeup race
+  }
+}
+
+void reset_termination_flag_for_testing() {
+  g_flag = 0;
+  g_signal.store(0, std::memory_order_relaxed);
+  if (g_pipe_read >= 0) {
+    char buf[64];
+    pollfd fd;
+    fd.fd = g_pipe_read;
+    fd.events = POLLIN;
+    while (::poll(&fd, 1, 0) > 0 && (fd.revents & POLLIN) != 0 &&
+           ::read(g_pipe_read, buf, sizeof buf) > 0) {
+    }
+  }
+}
+
+}  // namespace antdense::util

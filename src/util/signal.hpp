@@ -1,0 +1,44 @@
+// Graceful SIGINT / SIGTERM handling for the long-running drivers
+// (antdense_sweep, antdense_serve).
+//
+// The handler does the only two async-signal-safe things that matter:
+// it sets a flag and pokes a self-pipe.  Cooperative machinery then
+// observes the flag at safe points — the campaign scheduler polls it
+// through RunOptions::should_stop (so an interrupted sweep finishes the
+// experiments already in flight, flushes its journal tail, and exits
+// with code 3), and the serve daemon's accept loop polls the pipe fd to
+// leave its blocking poll and shut down cleanly.  Contrast with SIGKILL
+// semantics, where the journal's torn-tail truncation is the only
+// safety net.
+//
+// Process-global by nature (signal dispositions are): install once from
+// main().  termination_signal() additionally records *which* signal
+// fired, so drivers can report it.
+#pragma once
+
+namespace antdense::util {
+
+/// Installs the SIGINT and SIGTERM handlers (idempotent).  Subsequent
+/// deliveries of either signal set the termination flag instead of
+/// killing the process; a second delivery while the flag is already set
+/// restores default disposition and re-raises, so a stuck process can
+/// still be interrupted the hard way.
+void install_termination_handlers();
+
+/// True once SIGINT or SIGTERM has been delivered.
+bool termination_requested();
+
+/// The signal number that tripped the flag (0 when none yet).
+int termination_signal();
+
+/// The self-pipe read fd pollers can watch to learn about termination
+/// without busy-waiting; -1 before install_termination_handlers().
+int termination_wake_fd();
+
+/// Blocks until termination_requested() becomes true.
+void wait_for_termination();
+
+/// Test support: clears the flag (the handlers stay installed).
+void reset_termination_flag_for_testing();
+
+}  // namespace antdense::util

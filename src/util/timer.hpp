@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace antdense::util {
 
@@ -17,6 +18,14 @@ class WallTimer {
   }
 
   double elapsed_millis() const { return elapsed_seconds() * 1e3; }
+
+  /// Integer nanoseconds elapsed — for machine-read timing fields.
+  std::uint64_t elapsed_nanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
 
  private:
   using clock = std::chrono::steady_clock;

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -451,6 +452,41 @@ TEST(CampaignScheduler, InterruptedRunResumesToTheSameJournal) {
   EXPECT_EQ(third.executed, 0u);
   std::remove(full_path.c_str());
   std::remove(split_path.c_str());
+}
+
+TEST(CampaignScheduler, ShouldStopCutsTheRunShortButJournalsCleanly) {
+  const CampaignSpec camp = hundred_experiment_campaign();
+  const std::string path = temp_path("campaign_should_stop.jsonl");
+
+  // Trip the stop signal once the first experiment completes — the
+  // cooperative shape a SIGINT/SIGTERM handler drives through
+  // antdense_sweep.  Workers finish what they already claimed, so a few
+  // more may land, but the vast majority must stay unclaimed.
+  std::atomic<bool> stop{false};
+  RunOptions interrupted;
+  interrupted.threads = 2;
+  interrupted.should_stop = [&stop] { return stop.load(); };
+  interrupted.on_complete = [&stop](const PlannedExperiment&, std::size_t,
+                                    std::size_t) { stop.store(true); };
+  const RunReport first = campaign::run_campaign(camp, path, interrupted);
+  EXPECT_GE(first.executed, 1u);
+  EXPECT_GT(first.remaining, 0u) << "a stopped run must report leftovers";
+  EXPECT_EQ(first.executed + first.remaining, first.planned);
+
+  // Everything that executed was journaled before the stop took hold:
+  // the journal tail is flushed, records parse, ids are complete.
+  const std::vector<JsonValue> records = Journal::load(path);
+  EXPECT_EQ(records.size(), first.executed);
+
+  // Resuming without should_stop finishes the campaign, reusing every
+  // journaled record — the same contract as --max-experiments.
+  RunOptions resume;
+  resume.threads = 2;
+  const RunReport second = campaign::run_campaign(camp, path, resume);
+  EXPECT_EQ(second.cached, first.executed);
+  EXPECT_EQ(second.executed, first.planned - first.executed);
+  EXPECT_EQ(second.remaining, 0u);
+  std::remove(path.c_str());
 }
 
 TEST(CampaignScheduler, RecordsCarrySchemaAndResolvedRounds) {

@@ -8,9 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "core/density_estimator.hpp"
 #include "graph/torus2d.hpp"
@@ -488,6 +491,89 @@ TEST(Experiment, DensityIsThreadCountInvariant) {
   spec.threads = 4;
   const ScenarioResult four = Experiment(spec).run();
   EXPECT_EQ(one.estimates, four.estimates);
+}
+
+// Strips the wall-clock fields so two runs of the same spec compare
+// bit-identically.
+std::string timeless_dump(const ScenarioResult& result) {
+  util::JsonValue doc = result.to_json();
+  doc.erase("elapsed_seconds");
+  doc.erase("elapsed_ns");
+  return doc.dump(0);
+}
+
+TEST(Experiment, ProgressHooksObserveWithoutPerturbing) {
+  // Round-grained tap: density with trials == 1 reports rounds.
+  ScenarioSpec spec = tiny_spec("torus2d:16x16", Workload::kDensity);
+  spec.trials = 1;
+  const ScenarioResult plain = Experiment(spec).run();
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ticks;
+  scenario::ProgressHooks hooks;
+  hooks.round_stride = 7;
+  hooks.on_progress = [&](std::uint64_t done, std::uint64_t total) {
+    ticks.emplace_back(done, total);
+  };
+  const ScenarioResult tapped = Experiment(spec).run(hooks);
+
+  // The tap consumes no RNG: the hooked result is bit-identical.
+  EXPECT_EQ(timeless_dump(plain), timeless_dump(tapped));
+  ASSERT_FALSE(ticks.empty());
+  EXPECT_EQ(ticks.back().first, spec.rounds);
+  EXPECT_EQ(ticks.back().second, spec.rounds);
+  for (std::size_t i = 1; i < ticks.size(); ++i) {
+    EXPECT_LT(ticks[i - 1].first, ticks[i].first) << "rounds are serial";
+    EXPECT_EQ(ticks[i].second, spec.rounds);
+  }
+}
+
+TEST(Experiment, ProgressHooksCountTrialsForFanOutWorkloads) {
+  ScenarioSpec spec = tiny_spec("torus2d:16x16", Workload::kDensity);
+  spec.trials = 4;
+  spec.threads = 2;
+  const ScenarioResult plain = Experiment(spec).run();
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ticks;
+  scenario::ProgressHooks hooks;
+  hooks.on_progress = [&](std::uint64_t done, std::uint64_t total) {
+    ticks.emplace_back(done, total);
+  };
+  const ScenarioResult tapped = Experiment(spec).run(hooks);
+
+  EXPECT_EQ(timeless_dump(plain), timeless_dump(tapped));
+  ASSERT_EQ(ticks.size(), 4u) << "one tick per completed trial";
+  std::vector<std::uint64_t> dones;
+  for (const auto& [done, total] : ticks) {
+    EXPECT_EQ(total, 4u);
+    dones.push_back(done);
+  }
+  // Worker threads tick concurrently, so order is free but the counter
+  // must pass through every value once.
+  std::sort(dones.begin(), dones.end());
+  EXPECT_EQ(dones, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+}
+
+TEST(Experiment, ProgressHooksCoverEveryEngineMode) {
+  for (const EngineMode mode :
+       {EngineMode::kSingleStream, EngineMode::kSharded,
+        EngineMode::kVector}) {
+    SCOPED_TRACE(engine_mode_name(mode));
+    ScenarioSpec spec = tiny_spec("torus2d:16x16", Workload::kDensity);
+    spec.trials = 1;
+    spec.engine = mode;
+    const ScenarioResult plain = Experiment(spec).run();
+    std::uint64_t last_done = 0;
+    std::uint64_t last_total = 0;
+    scenario::ProgressHooks hooks;
+    hooks.on_progress = [&](std::uint64_t done, std::uint64_t total) {
+      last_done = done;
+      last_total = total;
+    };
+    const ScenarioResult tapped = Experiment(spec).run(hooks);
+    EXPECT_EQ(timeless_dump(plain), timeless_dump(tapped));
+    EXPECT_EQ(last_done, spec.rounds);
+    EXPECT_EQ(last_total, spec.rounds);
+  }
 }
 
 TEST(Experiment, PropertyEstimatesFrequency) {

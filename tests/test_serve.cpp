@@ -1,0 +1,490 @@
+// The serve layer: framing, the two-tier content-addressed cache
+// (LRU eviction order, single-flight dedup, journal warm start), and
+// the server/client round trip — including the acceptance contract that
+// a daemon-served result is byte-identical to a direct Experiment run
+// (modulo timing fields and the threads knob) cold, warm, and across a
+// restart.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+#include "scenario/spec.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+
+namespace antdense::serve {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+util::JsonValue small_spec(std::uint64_t seed) {
+  util::JsonValue spec = util::JsonValue::object();
+  spec.set("topology", "ring:64");
+  spec.set("workload", "density");
+  spec.set("agents", std::uint64_t{12});
+  spec.set("rounds", std::uint64_t{20});
+  spec.set("trials", std::uint64_t{2});
+  spec.set("seed", seed);
+  return spec;
+}
+
+/// What the daemon caches: the direct result document minus the
+/// per-invocation fields.  Mirrors the server's canonicalization, so
+/// the end-to-end tests can pin byte identity against a direct run.
+std::string direct_canonical(const util::JsonValue& spec_doc) {
+  scenario::ScenarioSpec spec = scenario::ScenarioSpec::from_json(spec_doc);
+  const scenario::ScenarioResult result =
+      scenario::Experiment(spec).run();
+  util::JsonValue doc = result.to_json();
+  doc.erase("elapsed_seconds");
+  doc.erase("elapsed_ns");
+  util::JsonValue canon_spec = result.spec.to_json();
+  canon_spec.erase("threads");
+  doc.set("spec", std::move(canon_spec));
+  return doc.dump(0);
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+// ---------------------------------------------------------------------------
+
+TEST(ServeCache, EvictsInLruOrderUnderByteBudget) {
+  // Budget fits two of the three ~40-byte entries (payload + id bytes).
+  ResultCache cache("", /*capacity_bytes=*/100);
+  const std::string payload(30, 'x');
+  auto put = [&](const std::string& id) {
+    cache.get_or_run(id, [&] { return payload; });
+  };
+  put("id-a");
+  put("id-b");
+  EXPECT_TRUE(cache.in_memory("id-a"));
+  EXPECT_TRUE(cache.in_memory("id-b"));
+
+  // Touch a so b is now the coldest; inserting c must evict b, not a.
+  EXPECT_TRUE(cache.get_or_run("id-a", [&] { return payload; }).cache_hit);
+  put("id-c");
+  EXPECT_TRUE(cache.in_memory("id-a"));
+  EXPECT_FALSE(cache.in_memory("id-b"));
+  EXPECT_TRUE(cache.in_memory("id-c"));
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, 100u);
+
+  // With no journal tier, the evicted id re-executes on demand.
+  EXPECT_FALSE(cache.get_or_run("id-b", [&] { return payload; }).cache_hit);
+}
+
+TEST(ServeCache, OversizedPayloadIsServedButNotCached) {
+  ResultCache cache("", /*capacity_bytes=*/16);
+  const CacheOutcome out =
+      cache.get_or_run("big", [] { return std::string(64, 'y'); });
+  EXPECT_FALSE(out.cache_hit);
+  EXPECT_FALSE(cache.in_memory("big"));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ServeCache, SingleFlightCoalescesConcurrentIdenticalRequests) {
+  ResultCache cache("", 1 << 20);
+  std::atomic<int> executions{0};
+  std::atomic<int> waiters_started{0};
+  std::atomic<bool> release{false};
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<CacheOutcome> outcomes(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      waiters_started.fetch_add(1);
+      outcomes[t] = cache.get_or_run("same-id", [&]() -> std::string {
+        executions.fetch_add(1);
+        // Hold the execution open until every thread has had a chance
+        // to pile onto the in-flight entry.
+        while (!release.load()) {
+          std::this_thread::yield();
+        }
+        return "the-answer";
+      });
+    });
+  }
+  while (waiters_started.load() < kThreads) {
+    std::this_thread::yield();
+  }
+  // Give the stragglers a moment to reach the cache before releasing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.store(true);
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  EXPECT_EQ(executions.load(), 1) << "single-flight must dedup to one run";
+  int cold = 0;
+  for (const CacheOutcome& out : outcomes) {
+    EXPECT_EQ(out.payload, "the-answer");
+    cold += out.cache_hit ? 0 : 1;
+  }
+  EXPECT_EQ(cold, 1) << "exactly the executing request reports a miss";
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.executions, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.coalesced + stats.hits_memory,
+            static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(ServeCache, ExecutionErrorPropagatesAndLeavesIdUncached) {
+  ResultCache cache("", 1 << 20);
+  const auto boom = []() -> std::string {
+    throw std::runtime_error("experiment failed");
+  };
+  EXPECT_THROW((void)cache.get_or_run("boom", boom), std::runtime_error);
+  // The failure is not cached: the next request retries and succeeds.
+  const CacheOutcome out = cache.get_or_run("boom", [] {
+    return std::string("recovered");
+  });
+  EXPECT_FALSE(out.cache_hit);
+  EXPECT_EQ(out.payload, "recovered");
+}
+
+TEST(ServeCache, JournalWarmStartServesWithoutExecuting) {
+  const std::string path = temp_path("serve_cache_warm.jsonl");
+  const std::string payload =
+      util::JsonValue::object().set("answer", std::uint64_t{42}).dump(0);
+  {
+    ResultCache cache(path, 1 << 20);
+    EXPECT_FALSE(cache.get_or_run("warm-id", [&] { return payload; })
+                     .cache_hit);
+  }
+  ResultCache reborn(path, 1 << 20);
+  EXPECT_EQ(reborn.stats().warm_loaded, 1u);
+  EXPECT_FALSE(reborn.in_memory("warm-id")) << "tier 1 starts empty";
+  const CacheOutcome out = reborn.get_or_run("warm-id", []() -> std::string {
+    ADD_FAILURE() << "a journal-warm id must not re-execute";
+    return "";
+  });
+  EXPECT_TRUE(out.cache_hit);
+  EXPECT_EQ(out.payload, payload) << "disk round trip must be byte-exact";
+  EXPECT_TRUE(reborn.in_memory("warm-id")) << "disk hits promote to memory";
+  const CacheStats stats = reborn.stats();
+  EXPECT_EQ(stats.hits_disk, 1u);
+  EXPECT_EQ(stats.executions, 0u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// A connected loopback socket pair for protocol tests.
+struct SocketPair {
+  util::ListenSocket listener{0};
+  util::Socket client;
+  util::Socket server;
+
+  SocketPair() {
+    client = util::Socket::connect_loopback(listener.port());
+    server = listener.accept_interruptible(-1);
+    EXPECT_TRUE(server.valid());
+  }
+};
+
+TEST(ServeProtocol, FrameRoundTrip) {
+  SocketPair pair;
+  const std::string payload = "{\"hello\":\"world\"}";
+  ASSERT_TRUE(write_frame(pair.client, payload));
+  std::string received;
+  ASSERT_EQ(read_frame(pair.server, received), FrameStatus::kOk);
+  EXPECT_EQ(received, payload);
+  // Empty payloads frame fine too.
+  ASSERT_TRUE(write_frame(pair.client, ""));
+  ASSERT_EQ(read_frame(pair.server, received), FrameStatus::kOk);
+  EXPECT_EQ(received, "");
+}
+
+TEST(ServeProtocol, DetectsBadMagic) {
+  SocketPair pair;
+  const char junk[8] = {'J', 'U', 'N', 'K', 1, 0, 0, 0};
+  ASSERT_TRUE(pair.client.send_all(junk, sizeof junk));
+  std::string payload;
+  EXPECT_EQ(read_frame(pair.server, payload), FrameStatus::kBadMagic);
+}
+
+TEST(ServeProtocol, DetectsOversizedFrame) {
+  SocketPair pair;
+  unsigned char header[8] = {'A', 'N', 'T', 'D', 0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_TRUE(pair.client.send_all(header, sizeof header));
+  std::string payload;
+  EXPECT_EQ(read_frame(pair.server, payload), FrameStatus::kOversized);
+}
+
+TEST(ServeProtocol, DetectsTruncatedFrame) {
+  SocketPair pair;
+  // Declares 100 bytes, delivers 3, hangs up.
+  unsigned char header[8] = {'A', 'N', 'T', 'D', 100, 0, 0, 0};
+  ASSERT_TRUE(pair.client.send_all(header, sizeof header));
+  ASSERT_TRUE(pair.client.send_all("abc", 3));
+  pair.client.close();
+  std::string payload;
+  EXPECT_EQ(read_frame(pair.server, payload), FrameStatus::kTruncated);
+}
+
+TEST(ServeProtocol, CleanEofIsClosedNotTruncated) {
+  SocketPair pair;
+  pair.client.close();
+  std::string payload;
+  EXPECT_EQ(read_frame(pair.server, payload), FrameStatus::kClosed);
+}
+
+TEST(ServeProtocol, EnvelopeValidation) {
+  EXPECT_EQ(envelope_type(make_envelope("run")), "run");
+  EXPECT_THROW(envelope_type(util::JsonValue("not an object")),
+               std::invalid_argument);
+  util::JsonValue wrong = util::JsonValue::object();
+  wrong.set("schema", "antdense.serve.v999");
+  wrong.set("type", "run");
+  EXPECT_THROW(envelope_type(wrong), std::invalid_argument);
+  util::JsonValue untyped = util::JsonValue::object();
+  untyped.set("schema", kServeSchema);
+  EXPECT_THROW(envelope_type(untyped), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Server end to end
+// ---------------------------------------------------------------------------
+
+ServerOptions test_options(const std::string& journal_path = "") {
+  ServerOptions options;
+  options.port = 0;
+  options.journal_path = journal_path;
+  options.threads = 1;
+  return options;
+}
+
+TEST(ServeServer, ColdResponseMatchesDirectRunAndWarmIsByteIdentical) {
+  const util::JsonValue spec = small_spec(404);
+  const std::string expected = direct_canonical(spec);
+
+  Server server(test_options());
+  server.start();
+  Client client(server.port());
+
+  const util::JsonValue cold = client.run(spec);
+  ASSERT_EQ(envelope_type(cold), "result");
+  EXPECT_FALSE(cold.find("cache_hit")->as_bool());
+  EXPECT_GT(cold.find("elapsed_ns")->as_uint(), 0u);
+  EXPECT_EQ(cold.find("result")->dump(0), expected)
+      << "daemon-served result must equal a direct Experiment run";
+
+  const util::JsonValue warm = client.run(spec);
+  EXPECT_TRUE(warm.find("cache_hit")->as_bool());
+  EXPECT_EQ(warm.find("result")->dump(0), expected)
+      << "warm response must be byte-identical to cold";
+  EXPECT_EQ(cold.find("id")->as_string(), warm.find("id")->as_string());
+
+  const util::JsonValue stats = client.cache_stats();
+  ASSERT_EQ(envelope_type(stats), "cache_stats");
+  EXPECT_GE(stats.find("stats")->find("hits_total")->as_uint(), 1u);
+  EXPECT_EQ(stats.find("stats")->find("executions")->as_uint(), 1u);
+
+  // A different spec is a different identity: misses again.
+  const util::JsonValue other = client.run(small_spec(405));
+  EXPECT_FALSE(other.find("cache_hit")->as_bool());
+  EXPECT_NE(other.find("id")->as_string(), cold.find("id")->as_string());
+  server.stop();
+}
+
+TEST(ServeServer, StreamsProgressFramesWhileExecuting) {
+  Server server(test_options());
+  server.start();
+  Client client(server.port());
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ticks;
+  const util::JsonValue response = client.run(
+      small_spec(406), /*want_progress=*/true,
+      [&](std::uint64_t done, std::uint64_t total) {
+        ticks.emplace_back(done, total);
+      });
+  ASSERT_EQ(envelope_type(response), "result");
+  ASSERT_FALSE(ticks.empty()) << "an executing run must stream progress";
+  for (const auto& [done, total] : ticks) {
+    EXPECT_LE(done, total);
+    EXPECT_GT(total, 0u);
+  }
+  EXPECT_EQ(ticks.back().first, ticks.back().second)
+      << "the final progress frame reports completion";
+
+  // A warm replay executes nothing, so no progress frames arrive.
+  ticks.clear();
+  client.run(small_spec(406), /*want_progress=*/true,
+             [&](std::uint64_t done, std::uint64_t total) {
+               ticks.emplace_back(done, total);
+             });
+  EXPECT_TRUE(ticks.empty());
+  server.stop();
+}
+
+TEST(ServeServer, SurvivesMalformedAndHostileFrames) {
+  Server server(test_options());
+  server.start();
+
+  {
+    // Malformed JSON: one error response, connection stays usable.
+    Client client(server.port());
+    ASSERT_TRUE(write_frame(client.socket(), "{not json"));
+    std::string payload;
+    ASSERT_EQ(read_frame(client.socket(), payload), FrameStatus::kOk);
+    EXPECT_EQ(envelope_type(util::JsonValue::parse(payload)), "error");
+    EXPECT_EQ(envelope_type(client.server_info()), "server_info")
+        << "connection must remain usable after a JSON error";
+  }
+  {
+    // Valid JSON, wrong schema.
+    Client client(server.port());
+    ASSERT_TRUE(write_frame(client.socket(), "{\"schema\":\"nope\"}"));
+    std::string payload;
+    ASSERT_EQ(read_frame(client.socket(), payload), FrameStatus::kOk);
+    EXPECT_EQ(envelope_type(util::JsonValue::parse(payload)), "error");
+  }
+  {
+    // Valid envelope, invalid spec (unknown key): error, stays open.
+    Client client(server.port());
+    util::JsonValue bad_spec = util::JsonValue::object();
+    bad_spec.set("no_such_key", std::uint64_t{1});
+    const util::JsonValue response = client.run(bad_spec);
+    EXPECT_EQ(envelope_type(response), "error");
+    EXPECT_EQ(envelope_type(client.server_info()), "server_info");
+  }
+  {
+    // Bad magic: one error frame, then the server hangs up.
+    util::Socket raw = util::Socket::connect_loopback(server.port());
+    ASSERT_TRUE(raw.send_all("GARBAGEGARBAGE", 14));
+    std::string payload;
+    ASSERT_EQ(read_frame(raw, payload), FrameStatus::kOk);
+    EXPECT_EQ(envelope_type(util::JsonValue::parse(payload)), "error");
+    EXPECT_EQ(read_frame(raw, payload), FrameStatus::kClosed)
+        << "a framing violation must close the connection";
+  }
+  {
+    // Oversized declared length: error + close, no allocation blowup.
+    util::Socket raw = util::Socket::connect_loopback(server.port());
+    unsigned char header[8] = {'A', 'N', 'T', 'D', 0xFF, 0xFF, 0xFF, 0x7F};
+    ASSERT_TRUE(raw.send_all(header, sizeof header));
+    std::string payload;
+    ASSERT_EQ(read_frame(raw, payload), FrameStatus::kOk);
+    EXPECT_EQ(envelope_type(util::JsonValue::parse(payload)), "error");
+    EXPECT_EQ(read_frame(raw, payload), FrameStatus::kClosed);
+  }
+  {
+    // Truncated frame (peer dies mid-payload): server just drops it.
+    util::Socket raw = util::Socket::connect_loopback(server.port());
+    unsigned char header[8] = {'A', 'N', 'T', 'D', 200, 0, 0, 0};
+    ASSERT_TRUE(raw.send_all(header, sizeof header));
+    ASSERT_TRUE(raw.send_all("partial", 7));
+    raw.close();
+  }
+  // After the whole corpus, the server still answers.
+  Client survivor(server.port());
+  EXPECT_EQ(envelope_type(survivor.server_info()), "server_info");
+  server.stop();
+}
+
+TEST(ServeServer, RestartWarmStartsFromJournal) {
+  const std::string path = temp_path("serve_server_restart.jsonl");
+  const util::JsonValue spec = small_spec(407);
+  std::string cold_bytes;
+  {
+    Server server(test_options(path));
+    server.start();
+    Client client(server.port());
+    const util::JsonValue cold = client.run(spec);
+    ASSERT_EQ(envelope_type(cold), "result");
+    EXPECT_FALSE(cold.find("cache_hit")->as_bool());
+    cold_bytes = cold.find("result")->dump(0);
+    server.stop();
+  }
+  {
+    Server server(test_options(path));
+    server.start();
+    Client client(server.port());
+    const util::JsonValue warm = client.run(spec);
+    EXPECT_TRUE(warm.find("cache_hit")->as_bool())
+        << "a restarted daemon must serve from its journal";
+    EXPECT_EQ(warm.find("result")->dump(0), cold_bytes);
+    const util::JsonValue stats = client.cache_stats();
+    EXPECT_EQ(stats.find("stats")->find("executions")->as_uint(), 0u);
+    EXPECT_EQ(stats.find("stats")->find("warm_loaded")->as_uint(), 1u);
+    server.stop();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServeServer, SweepRunsThroughTheSharedCache) {
+  Server server(test_options());
+  server.start();
+  Client client(server.port());
+
+  util::JsonValue campaign = util::JsonValue::object();
+  campaign.set("name", "serve-sweep");
+  campaign.set("seed", std::uint64_t{9});
+  util::JsonValue base = util::JsonValue::object();
+  base.set("topology", "ring:64");
+  base.set("workload", "density");
+  base.set("agents", std::uint64_t{12});
+  base.set("rounds", std::uint64_t{20});
+  campaign.set("base", base);
+  util::JsonValue axis = util::JsonValue::object();
+  axis.set("kind", "grid");
+  axis.set("key", "agents");
+  util::JsonValue values = util::JsonValue::array();
+  values.push_back(std::uint64_t{12});
+  values.push_back(std::uint64_t{16});
+  axis.set("values", values);
+  util::JsonValue axes = util::JsonValue::array();
+  axes.push_back(axis);
+  campaign.set("axes", axes);
+
+  const util::JsonValue first = client.sweep(campaign);
+  ASSERT_EQ(envelope_type(first), "sweep_result");
+  EXPECT_EQ(first.find("planned")->as_uint(), 2u);
+  EXPECT_EQ(first.find("executed")->as_uint(), 2u);
+  EXPECT_EQ(first.find("cache_hits")->as_uint(), 0u);
+
+  const util::JsonValue again = client.sweep(campaign);
+  EXPECT_EQ(again.find("executed")->as_uint(), 0u);
+  EXPECT_EQ(again.find("cache_hits")->as_uint(), 2u);
+  for (const util::JsonValue& entry : again.find("experiments")->items()) {
+    EXPECT_TRUE(entry.find("cache_hit")->as_bool());
+  }
+  server.stop();
+}
+
+TEST(ServeServer, ShutdownRequestStopsWait) {
+  Server server(test_options());
+  server.start();
+  std::thread waiter([&] { server.wait(); });
+  Client client(server.port());
+  const util::JsonValue ack = client.shutdown();
+  EXPECT_EQ(envelope_type(ack), "shutdown_ack");
+  waiter.join();  // wait() must return once shutdown is acknowledged
+  server.stop();
+}
+
+}  // namespace
+}  // namespace antdense::serve

@@ -365,6 +365,7 @@ TEST(VectorExperiment, AllWorkloadsAllFamiliesThreadInvariant) {
         spec.threads = threads;
         scenario::ScenarioResult result = scenario::Experiment(spec).run();
         result.elapsed_seconds = 0.0;
+        result.elapsed_ns = 0;
         scenario::ScenarioSpec canonical = result.spec;
         canonical.threads = 1;
         result.spec = canonical;
