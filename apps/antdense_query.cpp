@@ -27,7 +27,8 @@ namespace {
 using namespace antdense;
 
 void print_usage(std::ostream& os) {
-  os << "usage: antdense_query <run|sweep|cache-stats|server-info|shutdown>"
+  os << "usage: antdense_query "
+        "<run|sweep|cache-stats|server-info|metrics|shutdown>"
         " [flags]\n\n"
      << "common flags:\n"
      << "  --port=N            the daemon's port on 127.0.0.1 (required)\n\n"
@@ -41,7 +42,10 @@ void print_usage(std::ostream& os) {
      << "                      byte-comparison)\n\n"
      << "sweep flags:\n"
      << "  --campaign=FILE.json  CampaignSpec to sweep (required)\n"
-     << "  --progress --out=PATH as for run\n";
+     << "  --progress --out=PATH as for run\n\n"
+     << "metrics flags:\n"
+     << "  --json              print the registry's JSON snapshot instead\n"
+     << "                      of Prometheus text exposition\n";
 }
 
 util::JsonValue load_json_file(const std::string& path) {
@@ -181,6 +185,29 @@ int cmd_simple(const util::Args& args, const std::string& type) {
   return 0;
 }
 
+int cmd_metrics(const util::Args& args) {
+  args.require_known({"port", "json", "help"});
+  serve::Client client(require_port(args));
+  const util::JsonValue response = client.metrics();
+  if (check_error(response)) {
+    return 1;
+  }
+  if (args.get_bool("json", false)) {
+    const util::JsonValue* metrics = response.find("metrics");
+    if (metrics == nullptr) {
+      throw std::runtime_error("malformed response: no metrics object");
+    }
+    std::cout << metrics->dump() << "\n";
+  } else {
+    const util::JsonValue* text = response.find("prometheus");
+    if (text == nullptr || !text->is_string()) {
+      throw std::runtime_error("malformed response: no prometheus text");
+    }
+    std::cout << text->as_string();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,12 +235,15 @@ int main(int argc, char** argv) {
     if (command == "server-info") {
       return cmd_simple(args, "server_info");
     }
+    if (command == "metrics") {
+      return cmd_metrics(args);
+    }
     if (command == "shutdown") {
       return cmd_simple(args, "shutdown");
     }
     throw std::invalid_argument("unknown command '" + command +
                                 "' (expected run, sweep, cache-stats, "
-                                "server-info, or shutdown)");
+                                "server-info, metrics, or shutdown)");
   } catch (const std::exception& e) {
     std::cerr << "antdense_query: " << e.what() << "\n\n";
     print_usage(std::cerr);

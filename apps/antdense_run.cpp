@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/spec.hpp"
@@ -56,6 +58,10 @@ void print_usage(std::ostream& os) {
      << "driver flags:\n"
      << "  --spec=FILE.json  load a spec file (flags overlay it)\n"
      << "  --out=PATH.json   write the result artifact\n"
+     << "  --metrics-out=F   write a telemetry snapshot after the run\n"
+     << "                    (.json -> ordered JSON, else Prometheus text)\n"
+     << "  --trace-out=F     write Chrome trace-event JSON phase spans\n"
+     << "                    (open in chrome://tracing or Perfetto)\n"
      << "  --quiet           suppress the human-readable report\n"
      << "  --list-topologies (families + spec grammar)\n"
      << "  --list-workloads / --help\n";
@@ -125,8 +131,9 @@ int main(int argc, char** argv) {
     }
 
     std::vector<std::string> known = scenario::ScenarioSpec::key_names();
-    known.insert(known.end(), {"spec", "out", "quiet", "help",
-                               "list-topologies", "list-workloads"});
+    known.insert(known.end(), {"spec", "out", "metrics-out", "trace-out",
+                               "quiet", "help", "list-topologies",
+                               "list-workloads"});
     args.require_known(known);
 
     scenario::ScenarioSpec spec;
@@ -136,8 +143,23 @@ int main(int argc, char** argv) {
     }
     spec = scenario::ScenarioSpec::from_args(args, std::move(spec));
 
+    // Telemetry sinks exist only when asked for; the ambient install is
+    // a no-op otherwise and the run stays on the uninstrumented path.
+    obs::MetricsRegistry metrics;
+    obs::TraceRecorder trace;
+    obs::Telemetry telemetry{args.has("metrics-out") ? &metrics : nullptr,
+                             args.has("trace-out") ? &trace : nullptr};
+    obs::ScopedTelemetry ambient(&telemetry);
+
     const scenario::Experiment experiment(std::move(spec));
     const scenario::ScenarioResult result = experiment.run();
+
+    if (args.has("metrics-out")) {
+      obs::write_metrics_file(metrics, args.get_string("metrics-out", ""));
+    }
+    if (args.has("trace-out")) {
+      obs::write_trace_file(trace, args.get_string("trace-out", ""));
+    }
 
     if (!args.get_bool("quiet", false)) {
       print_report(result);

@@ -38,6 +38,10 @@ void print_usage(std::ostream& os) {
      << "                      (default 0 = one per core)\n"
      << "  --progress-stride=N report round progress every N rounds\n"
      << "                      (default 0 = auto, ~64 frames per run)\n"
+     << "  --progress-interval-ms=N\n"
+     << "                      minimum milliseconds between progress\n"
+     << "                      frames per request (default 100; 0 =\n"
+     << "                      unthrottled; the final frame always sends)\n"
      << "  --quiet             suppress the startup/shutdown banner\n";
 }
 
@@ -51,7 +55,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     args.require_known({"port", "journal", "cache-bytes", "threads",
-                        "progress-stride", "quiet", "help"});
+                        "progress-stride", "progress-interval-ms", "quiet",
+                        "help"});
 
     serve::ServerOptions options;
     options.port = static_cast<std::uint16_t>(args.get_uint("port", 0));
@@ -60,6 +65,8 @@ int main(int argc, char** argv) {
     options.threads = static_cast<unsigned>(args.get_uint("threads", 0));
     options.progress_stride =
         static_cast<std::uint32_t>(args.get_uint("progress-stride", 0));
+    options.progress_interval_ms = static_cast<std::uint32_t>(
+        args.get_uint("progress-interval-ms", options.progress_interval_ms));
     const bool quiet = args.get_bool("quiet", false);
 
     util::install_termination_handlers();

@@ -13,18 +13,25 @@
 // is the same operation but refuses to start from scratch (a missing
 // journal is an error, catching typo'd paths).  See src/campaign/ for
 // the spec format and determinism contract.
+#include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "campaign/aggregate.hpp"
 #include "campaign/journal.hpp"
 #include "campaign/scheduler.hpp"
 #include "campaign/spec.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 #include "util/signal.hpp"
@@ -48,6 +55,12 @@ void print_usage(std::ostream& os) {
      << "                          count, with a message on stderr)\n"
      << "  --max-experiments=K     stop after K new experiments\n"
      << "  --quiet                 suppress per-experiment progress\n"
+     << "  --progress-interval=MS  stderr progress line cadence\n"
+     << "                          (completed/total, experiments/sec, ETA;\n"
+     << "                          default 1000, 0 disables)\n"
+     << "  --metrics-out=F         write a telemetry snapshot after the\n"
+     << "                          run (.json -> JSON, else Prometheus)\n"
+     << "  --trace-out=F           write Chrome trace-event JSON spans\n"
      << "  (resume additionally requires the journal to exist)\n\n"
      << "expand flags:\n"
      << "  --campaign=FILE.json --dry-run [--limit=N]\n"
@@ -106,9 +119,70 @@ std::string require_journal(const util::Args& args) {
   return args.get_string("journal", "");
 }
 
+/// Periodic stderr progress line driven by the scheduler's metrics
+/// gauges: no callback plumbing, no extra synchronization with the
+/// worker pool — the reporter just reads the registry like any other
+/// metrics consumer would.  RAII so an exception inside run_campaign
+/// still joins the thread.
+class ProgressReporter {
+ public:
+  ProgressReporter(obs::MetricsRegistry& metrics, std::uint64_t interval_ms)
+      : completed_(metrics.gauge("antdense_campaign_completed", {},
+                                 "Experiments completed this invocation")),
+        scheduled_(metrics.gauge("antdense_campaign_scheduled", {},
+                                 "Experiments scheduled this invocation")) {
+    thread_ = std::thread([this, interval_ms] { loop(interval_ms); });
+  }
+
+  ~ProgressReporter() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void loop(std::uint64_t interval_ms) {
+    const auto start = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                         [this] { return stop_; })) {
+      const std::int64_t done = completed_.value();
+      const std::int64_t total = scheduled_.value();
+      if (total <= 0) {
+        continue;  // scheduler still planning (or nothing to do)
+      }
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      const double rate =
+          elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+      std::string eta = "?";
+      if (rate > 0.0 && done <= total) {
+        eta = util::format_fixed(static_cast<double>(total - done) / rate, 0) +
+              "s";
+      }
+      std::cerr << "antdense_sweep: progress " << done << "/" << total << " ("
+                << util::format_fixed(rate, 2) << " exp/s, ETA " << eta
+                << ")\n";
+    }
+  }
+
+  obs::Gauge& completed_;
+  obs::Gauge& scheduled_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 int cmd_run(const util::Args& args, bool resume) {
   args.require_known({"campaign", "journal", "threads", "inner-threads",
-                      "max-experiments", "quiet", "help"});
+                      "max-experiments", "quiet", "progress-interval",
+                      "metrics-out", "trace-out", "help"});
   const campaign::CampaignSpec spec = load_campaign(args);
   const std::string journal_path = require_journal(args);
   if (resume && !std::ifstream(journal_path)) {
@@ -143,8 +217,29 @@ int cmd_run(const util::Args& args, bool resume) {
     };
   }
 
-  const campaign::RunReport report =
-      campaign::run_campaign(spec, journal_path, options);
+  // Metrics exist when exporting OR when the progress reporter needs
+  // the scheduler's gauges; the trace ring only when exporting it.
+  const std::uint64_t progress_ms = args.get_uint("progress-interval", 1000);
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;
+  options.telemetry.metrics =
+      (args.has("metrics-out") || progress_ms > 0) ? &metrics : nullptr;
+  options.telemetry.trace = args.has("trace-out") ? &trace : nullptr;
+
+  campaign::RunReport report;
+  {
+    std::unique_ptr<ProgressReporter> reporter;
+    if (progress_ms > 0) {
+      reporter = std::make_unique<ProgressReporter>(metrics, progress_ms);
+    }
+    report = campaign::run_campaign(spec, journal_path, options);
+  }
+  if (args.has("metrics-out")) {
+    obs::write_metrics_file(metrics, args.get_string("metrics-out", ""));
+  }
+  if (args.has("trace-out")) {
+    obs::write_trace_file(trace, args.get_string("trace-out", ""));
+  }
   if (!quiet) {
     std::cout << "\n";
   }

@@ -17,6 +17,13 @@
 // scan for gnp, O(m) edge scan for ba — plus a resident-set column
 // that documents the O(agents) memory the implicit layer promises.
 //
+// A fifth path, "engine+obs", re-times the scalar engine with the full
+// telemetry ambient installed (metrics registry + trace recorder), so
+// the cost of observability is a trended number instead of folklore.
+// The telemetry-DISABLED gate lives in CI: with no ambient installed,
+// the engine rows must stay within 1.05x of the frozen legacy loop on
+// the ring/torus2d cells — the dormant probes must cost nothing.
+//
 // Flags:
 //   --out=PATH        JSON output path (default BENCH_engine.json)
 //   --tiny            CI smoke mode: small sizes, seconds total
@@ -46,6 +53,9 @@
 #include "graph/ring.hpp"
 #include "graph/torus2d.hpp"
 #include "graph/torus_kd.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "sim/density_sim.hpp"
 #include "sim/legacy_reference.hpp"
 #include "sim/vector_walk.hpp"
@@ -61,6 +71,7 @@ struct Cell {
   std::uint64_t rounds = 0;
   double legacy_ns = 0.0;
   double engine_ns = 0.0;
+  double obs_ns = 0.0;  // engine with metrics + tracing ambient installed
   double vector_ns = 0.0;  // engine=vector (sim/vector_walk.hpp)
   double any_ns = 0.0;  // engine driven through graph::AnyTopology
   std::uint64_t peak_rss = 0;  // process high-water RSS after this cell
@@ -107,6 +118,20 @@ Cell measure_cell(const T& topo, std::uint32_t agents, std::uint64_t budget,
                           .collision_counts[0];
       },
       agents, cfg.rounds, reps);
+  // Same engine, full telemetry ambient: counters, phase histograms,
+  // and the trace ring all live.  The registry persists across reps —
+  // exactly how a long-lived process accumulates — so instrument
+  // lookup happens once per run via the EngineTap, not per rep.
+  obs::MetricsRegistry obs_metrics;
+  obs::TraceRecorder obs_trace;
+  obs::Telemetry obs_bundle{&obs_metrics, &obs_trace};
+  cell.obs_ns = time_path(
+      [&](std::uint64_t rep) {
+        obs::ScopedTelemetry ambient(&obs_bundle);
+        sink = sink + sim::run_density_walk(topo, cfg, 0xBE7C + rep)
+                          .collision_counts[0];
+      },
+      agents, cfg.rounds, reps);
   cell.vector_ns = time_path(
       [&](std::uint64_t rep) {
         sink = sink + sim::run_density_walk_vector(topo, cfg, 0xBE7C + rep)
@@ -141,7 +166,9 @@ int main(int argc, char** argv) {
       "E-ENGINE",
       "unified WalkEngine vs the frozen legacy round loop vs AnyTopology",
       "engine ns/agent-round <= legacy at 10k agents on torus2d; "
-      "anytopology within 10% of engine there; BENCH_engine.json parses");
+      "anytopology within 10% of engine there; dormant telemetry keeps "
+      "engine within 1.05x of legacy on ring/torus2d; "
+      "BENCH_engine.json parses");
 
   const std::vector<std::uint32_t> agent_counts =
       tiny ? std::vector<std::uint32_t>{200, 1000}
@@ -194,16 +221,19 @@ int main(int argc, char** argv) {
   }
 
   util::Table table({"topology", "agents", "rounds", "legacy ns/step",
-                     "engine ns/step", "vector ns/step", "any ns/step",
-                     "vector ratio", "erasure overhead", "peak rss MiB"});
+                     "engine ns/step", "obs ns/step", "vector ns/step",
+                     "any ns/step", "obs ratio", "vector ratio",
+                     "erasure overhead", "peak rss MiB"});
   std::vector<bench::BenchRecord> records;
   for (const Cell& c : cells) {
     table.add_row({c.topology, util::format_count(c.agents),
                    util::format_count(c.rounds),
                    util::format_fixed(c.legacy_ns, 2),
                    util::format_fixed(c.engine_ns, 2),
+                   util::format_fixed(c.obs_ns, 2),
                    util::format_fixed(c.vector_ns, 2),
                    util::format_fixed(c.any_ns, 2),
+                   util::format_fixed(c.obs_ns / c.engine_ns, 3),
                    util::format_fixed(c.vector_ns / c.engine_ns, 3),
                    util::format_fixed(c.any_ns / c.engine_ns, 3),
                    util::format_fixed(
@@ -222,6 +252,9 @@ int main(int argc, char** argv) {
     records.push_back(base);
     base.name = "engine";
     base.ns_per_agent_round = c.engine_ns;
+    records.push_back(base);
+    base.name = "engine+obs";
+    base.ns_per_agent_round = c.obs_ns;
     records.push_back(base);
     base.name = "vector";
     base.ns_per_agent_round = c.vector_ns;

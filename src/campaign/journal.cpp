@@ -156,7 +156,7 @@ Journal::Journal(const std::string& path) : path_(path) {
   }
 }
 
-void Journal::append(const util::JsonValue& record) {
+std::size_t Journal::append(const util::JsonValue& record) {
   const std::string line = record.dump(0);
   std::lock_guard<std::mutex> lock(mutex_);
   out_ << line << '\n';
@@ -164,6 +164,7 @@ void Journal::append(const util::JsonValue& record) {
   if (!out_.good()) {
     throw std::runtime_error("write to journal " + path_ + " failed");
   }
+  return line.size() + 1;
 }
 
 }  // namespace antdense::campaign

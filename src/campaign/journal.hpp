@@ -67,8 +67,9 @@ class Journal {
 
   /// Appends one record as a single compact line and flushes, so a
   /// record is either wholly on disk or droppable as the trailing
-  /// fragment.  Thread-safe.
-  void append(const util::JsonValue& record);
+  /// fragment.  Thread-safe.  Returns the bytes written (line plus
+  /// newline) — the scheduler's journal-bytes telemetry counts these.
+  std::size_t append(const util::JsonValue& record);
 
  private:
   std::mutex mutex_;

@@ -53,6 +53,37 @@ RunReport run_campaign(const CampaignSpec& campaign,
     report.remaining = pending.size() - options.max_experiments;
     pending.resize(options.max_experiments);
   }
+
+  // Telemetry sinks are resolved once, up front; the workers then only
+  // touch striped counters and gauges.  All of this is RNG-neutral —
+  // experiments compute the same bytes with or without it.
+  obs::Telemetry telemetry = options.telemetry;
+  obs::Counter* experiments_total = nullptr;
+  obs::Counter* journal_bytes = nullptr;
+  obs::Gauge* scheduled_gauge = nullptr;
+  obs::Gauge* completed_gauge = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Histogram* experiment_seconds = nullptr;
+  if (telemetry.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *telemetry.metrics;
+    experiments_total =
+        &reg.counter("antdense_campaign_experiments_total", {},
+                     "Experiments executed and journaled");
+    journal_bytes = &reg.counter("antdense_campaign_journal_bytes_total", {},
+                                 "Bytes appended to the campaign journal");
+    scheduled_gauge = &reg.gauge("antdense_campaign_scheduled", {},
+                                 "Experiments scheduled this invocation");
+    completed_gauge = &reg.gauge("antdense_campaign_completed", {},
+                                 "Experiments completed this invocation");
+    queue_depth = &reg.gauge("antdense_campaign_queue_depth", {},
+                             "Scheduled experiments not yet completed");
+    experiment_seconds =
+        &reg.histogram("antdense_campaign_experiment_seconds", {}, {},
+                       "Wall time per experiment (seconds)");
+    scheduled_gauge->set(static_cast<std::int64_t>(pending.size()));
+    queue_depth->set(static_cast<std::int64_t>(pending.size()));
+  }
+
   if (pending.empty()) {
     report.elapsed_seconds = timer.elapsed_seconds();
     return report;
@@ -116,6 +147,16 @@ RunReport run_campaign(const CampaignSpec& campaign,
       pending.size(),
       [&](std::size_t i, std::stop_token) {
         const PlannedExperiment& p = pending[i];
+        // Workers never inherit the caller's thread-local ambient
+        // telemetry, so install the campaign's bundle here — engine
+        // taps inside the experiment then record into the shared
+        // striped sinks.
+        obs::ScopedTelemetry ambient(&telemetry);
+        obs::SpanScope span(telemetry.trace, "experiment", "campaign");
+        if (telemetry.trace != nullptr) {
+          span.set_args("{\"id\":\"" + util::json_escape(p.id) + "\"}");
+        }
+        util::WallTimer experiment_timer;
         // Experiment-level parallelism comes from the workers;
         // within-experiment parallelism from inner_threads.  Either
         // way the result is the same — thread counts are resource
@@ -124,9 +165,22 @@ RunReport run_campaign(const CampaignSpec& campaign,
         spec.threads = inner;
         const scenario::ScenarioResult result =
             scenario::Experiment(std::move(spec), registry).run();
-        journal.append(make_record(p, result, campaign.name));
+        std::size_t appended;
+        {
+          const obs::SpanScope journal_span(telemetry.trace,
+                                            "journal-append", "campaign");
+          appended = journal.append(make_record(p, result, campaign.name));
+        }
         const std::size_t done_now =
             completed.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (experiment_seconds != nullptr) {
+          experiment_seconds->observe(experiment_timer.elapsed_seconds());
+          experiments_total->add(1);
+          journal_bytes->add(appended);
+          completed_gauge->set(static_cast<std::int64_t>(done_now));
+          queue_depth->set(
+              static_cast<std::int64_t>(pending.size() - done_now));
+        }
         if (options.on_complete) {
           std::lock_guard<std::mutex> lock(progress_mutex);
           options.on_complete(p, done_now, pending.size());

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "campaign/spec.hpp"
+#include "obs/telemetry.hpp"
 #include "scenario/registry.hpp"
 
 namespace antdense::campaign {
@@ -58,6 +59,13 @@ struct RunOptions {
   /// the resume story is identical to a --max-experiments cap.  Must be
   /// callable concurrently (keep it a flag read).
   std::function<bool()> should_stop;
+  /// Optional telemetry sinks.  When set, the scheduler publishes
+  /// queue-depth/completion gauges, experiment and journal-byte
+  /// counters, and an experiment-latency histogram, emits per-
+  /// experiment + journal-append trace spans, and installs the bundle
+  /// as each worker's ambient telemetry so engine taps fire inside
+  /// every experiment.  Never affects results (RNG-neutral).
+  obs::Telemetry telemetry;
 };
 
 struct RunReport {

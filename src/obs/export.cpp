@@ -1,0 +1,43 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace antdense::obs {
+
+namespace {
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  out << text;
+  if (!out.good()) {
+    throw std::runtime_error("write to " + path + " failed");
+  }
+}
+
+bool has_json_extension(const std::string& path) {
+  static constexpr const char kExt[] = ".json";
+  static constexpr std::size_t kExtLen = sizeof(kExt) - 1;
+  return path.size() >= kExtLen &&
+         path.compare(path.size() - kExtLen, kExtLen, kExt) == 0;
+}
+
+}  // namespace
+
+void write_metrics_file(const MetricsRegistry& registry,
+                        const std::string& path) {
+  if (has_json_extension(path)) {
+    write_text_file(path, registry.to_json().dump() + "\n");
+  } else {
+    write_text_file(path, registry.to_prometheus());
+  }
+}
+
+void write_trace_file(const TraceRecorder& trace, const std::string& path) {
+  write_text_file(path, trace.dump());
+}
+
+}  // namespace antdense::obs

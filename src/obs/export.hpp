@@ -1,0 +1,26 @@
+// File export for telemetry artifacts — the one place the CLIs'
+// --metrics-out / --trace-out flags funnel through, so both tools agree
+// on formats: a ".json" metrics path gets the registry's ordered JSON
+// snapshot, anything else gets Prometheus text exposition; trace paths
+// always get Chrome trace-event JSON (load in chrome://tracing or
+// https://ui.perfetto.dev).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace antdense::obs {
+
+/// Writes a registry snapshot to `path`.  Format by extension:
+/// ".json" -> ordered JSON object; anything else -> Prometheus text.
+/// Throws std::runtime_error when the file cannot be written.
+void write_metrics_file(const MetricsRegistry& registry,
+                        const std::string& path);
+
+/// Writes the recorder's Chrome trace-event JSON document to `path`.
+/// Throws std::runtime_error when the file cannot be written.
+void write_trace_file(const TraceRecorder& trace, const std::string& path);
+
+}  // namespace antdense::obs

@@ -1,0 +1,216 @@
+// MetricsRegistry — named counters, gauges, and fixed-bucket latency
+// histograms with lock-free per-worker sinks.
+//
+// Design:
+//   - Each Counter / Histogram stripes its storage across a small,
+//     cache-line-aligned array of atomic slots.  A worker thread picks
+//     its slot once (a thread-local index assigned on first use) and
+//     then only ever touches that slot with relaxed atomics — no
+//     locks, no sharing on the hot path.  Totals are summed across
+//     slots on snapshot, so aggregation cost is paid by the reader,
+//     never the instrumented loop.
+//   - Gauges are a single atomic (they record "current level", not a
+//     rate, so striping would change semantics).
+//   - The registry itself is a mutex-guarded name -> instrument map.
+//     Registration is expected once per run (engines resolve pointers
+//     at entry, not per round); lookups never happen on hot paths.
+//   - Export: to_json() emits an ordered JSON object (registration
+//     order, stable and diffable) and to_prometheus() emits the text
+//     exposition format, both via util::json conventions.
+//
+// Everything here is RNG-neutral by construction: instruments never
+// touch generators or simulation state, so enabling metrics cannot
+// perturb stream identity.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace antdense::obs {
+
+/// Number of independent sink slots per striped instrument.  Power of
+/// two; worker threads hash onto slots, so contention is possible but
+/// rare for thread counts near the slot count.
+inline constexpr std::size_t kSinkSlots = 16;
+
+namespace detail {
+
+/// Stable small index for the calling thread, assigned on first use.
+/// Used to spread workers across sink slots.
+std::size_t thread_sink_index();
+
+struct alignas(64) AtomicSlot {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// Relaxed add on an atomic double via CAS (fetch_add on atomic
+/// floating-point needs C++20 library support we don't assume).
+inline void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+/// Monotonic counter.  add() is lock-free and wait-free on x86
+/// (relaxed fetch_add on the caller's sink slot); value() sums the
+/// slots.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    slots_[detail::thread_sink_index() & (kSinkSlots - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : slots_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<detail::AtomicSlot, kSinkSlots> slots_;
+};
+
+/// Point-in-time level (queue depth, cache bytes, ...).  A single
+/// atomic: set/add are relaxed; last writer wins on set.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Aggregated view of a Histogram (or a merge of several).  `counts`
+/// has one entry per finite upper bound plus a final +Inf overflow
+/// bucket; entries are per-bucket (not cumulative).
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;  ///< finite bounds, ascending
+  std::vector<std::uint64_t> counts;  ///< size upper_bounds.size() + 1
+  std::uint64_t count = 0;            ///< total observations
+  double sum = 0.0;                   ///< sum of observed values
+
+  /// Accumulates another snapshot into this one.  Bounds must match
+  /// (throws std::invalid_argument otherwise).
+  void merge(const HistogramSnapshot& other);
+};
+
+/// Fixed-bucket histogram.  Bucket upper bounds are set at
+/// registration and never change; observe() is a linear scan over the
+/// (small) bound array plus two relaxed atomic adds on the caller's
+/// sink slot.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) {
+    std::size_t bucket = bounds_.size();  // +Inf overflow bucket
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      if (v <= bounds_[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    auto& slot = slots_[detail::thread_sink_index() & (kSinkSlots - 1)];
+    slot.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_add(slot.sum, v);
+  }
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+
+  /// Sums all sink slots into one aggregated view.
+  HistogramSnapshot snapshot() const;
+
+  /// Log-spaced latency bounds from 1 us to ~10 s — the default for
+  /// phase/request timings (seconds).
+  static const std::vector<double>& default_latency_bounds();
+
+ private:
+  struct alignas(64) Slot {
+    std::vector<std::atomic<std::uint64_t>> counts;
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::array<Slot, kSinkSlots> slots_;
+};
+
+/// Label set attached to an instrument, e.g. {{"engine","sharded"}}.
+/// Order is preserved in the exposition.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Registry of named instruments.  Thread-safe; instruments returned
+/// by reference remain valid (and at a stable address) for the
+/// registry's lifetime.  Re-registering the same name+labels returns
+/// the existing instrument; registering the same name with a
+/// different kind throws.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const Labels& labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const Labels& labels = {},
+               const std::string& help = "");
+  /// `upper_bounds` is consulted only on first registration; pass
+  /// empty to use Histogram::default_latency_bounds().
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& upper_bounds = {},
+                       const Labels& labels = {},
+                       const std::string& help = "");
+
+  /// Ordered JSON snapshot: one key per instrument in registration
+  /// order ("name" or "name{k=\"v\"}"), each an object with "type",
+  /// "value" (counter/gauge) or "buckets"/"sum"/"count" (histogram).
+  util::JsonValue to_json() const;
+
+  /// Prometheus text exposition (version 0.0.4): # HELP / # TYPE per
+  /// metric family, `_bucket{le=...}` / `_sum` / `_count` series for
+  /// histograms.
+  std::string to_prometheus() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::string key;  // name + canonical label text
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, const Labels& labels,
+                        const std::string& help, Kind kind);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+};
+
+/// Canonical `{k="v",...}` label text ("" for no labels).
+std::string format_labels(const Labels& labels);
+
+}  // namespace antdense::obs

@@ -1,0 +1,192 @@
+// Ambient telemetry context + the engine-facing instrumentation seam.
+//
+// The walk engines are header templates with frozen, identity-bearing
+// signatures — threading a registry parameter through them would churn
+// every call site and invite accidental identity drift.  Instead,
+// telemetry is *ambient*: a thread-local pointer installed by
+// ScopedTelemetry for the dynamic extent of a run.  Engines consult it
+// exactly once at entry (EngineTap's constructor); when nothing is
+// installed the tap is inert and every per-round probe collapses to a
+// predictable-false branch — the disabled hot path stays within noise
+// of the uninstrumented loop (gated ≤ 1.05x in bench-smoke).
+//
+// RNG-neutrality contract: taps and spans observe wall time and event
+// counts only.  They never touch generators, agent state, or counter
+// contents, so enabling telemetry cannot change a single output byte
+// — goldens across all three engines are pinned byte-identical with
+// telemetry on and off (tests/test_obs_telemetry.cpp).  This is also
+// why phase scopes live *outside* stream identity: a phase boundary
+// is a measurement seam, not an algorithmic one, and must stay
+// invisible to `ScenarioSpec::identity_hash`.
+//
+// Worker threads: the ambient pointer is thread-local and does NOT
+// propagate into pool workers automatically.  That is fine for the
+// sharded engine — the tap is constructed on the caller thread and its
+// striped Counter/Histogram sinks are safe to hit from any worker
+// (each worker lands on its own slot).  Code that fans whole trials
+// out to workers installs ScopedTelemetry inside the worker lambda.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace antdense::obs {
+
+/// A bundle of sinks.  Either pointer may be null; both null (or a
+/// null Telemetry*) means "disabled".
+struct Telemetry {
+  MetricsRegistry* metrics = nullptr;
+  TraceRecorder* trace = nullptr;
+
+  bool enabled() const { return metrics != nullptr || trace != nullptr; }
+};
+
+namespace detail {
+
+inline Telemetry*& ambient_slot() {
+  thread_local Telemetry* slot = nullptr;
+  return slot;
+}
+
+}  // namespace detail
+
+/// The calling thread's installed telemetry (null when none).
+inline Telemetry* ambient_telemetry() { return detail::ambient_slot(); }
+
+/// Installs `telemetry` as the calling thread's ambient context for
+/// this scope; restores the previous context on exit.  Pass nullptr
+/// to explicitly mask telemetry for a scope.
+class ScopedTelemetry {
+ public:
+  explicit ScopedTelemetry(Telemetry* telemetry)
+      : previous_(detail::ambient_slot()) {
+    detail::ambient_slot() =
+        (telemetry != nullptr && telemetry->enabled()) ? telemetry : nullptr;
+  }
+
+  ScopedTelemetry(const ScopedTelemetry&) = delete;
+  ScopedTelemetry& operator=(const ScopedTelemetry&) = delete;
+
+  ~ScopedTelemetry() { detail::ambient_slot() = previous_; }
+
+ private:
+  Telemetry* previous_;
+};
+
+/// Per-walk instrumentation handle.  Constructed once at engine entry:
+/// resolves the ambient context and pre-registers the engine's
+/// counters and per-phase histograms so the round loop only ever does
+/// pointer-null checks and relaxed atomic adds.  An inert tap (no
+/// ambient telemetry) costs one branch per probe.
+class EngineTap {
+ public:
+  static constexpr std::size_t kMaxPhases = 4;
+
+  EngineTap(const char* engine,
+            std::initializer_list<const char*> phases) {
+    Telemetry* tel = ambient_telemetry();
+    if (tel == nullptr || !tel->enabled()) {
+      return;
+    }
+    active_ = true;
+    trace_ = tel->trace;
+    std::size_t i = 0;
+    for (const char* p : phases) {
+      if (i == kMaxPhases) {
+        break;
+      }
+      phase_names_[i] = p;
+      ++i;
+    }
+    n_phases_ = i;
+    if (tel->metrics != nullptr) {
+      MetricsRegistry& reg = *tel->metrics;
+      const Labels base{{"engine", engine}};
+      rounds_ = &reg.counter("antdense_engine_rounds_total", base,
+                             "Rounds executed by walk engines");
+      agent_steps_ = &reg.counter("antdense_engine_agent_steps_total", base,
+                                  "Agent-rounds processed by walk engines");
+      for (std::size_t p = 0; p < n_phases_; ++p) {
+        Labels labels = base;
+        labels.emplace_back("phase", phase_names_[p]);
+        phase_hist_[p] = &reg.histogram(
+            "antdense_engine_phase_seconds", {}, labels,
+            "Wall time per engine phase per round (seconds)");
+      }
+    }
+  }
+
+  EngineTap(const EngineTap&) = delete;
+  EngineTap& operator=(const EngineTap&) = delete;
+
+  bool active() const { return active_; }
+
+  /// Striped-counter adds — safe from any thread, including pool
+  /// workers that never installed ambient telemetry themselves.
+  void add_rounds(std::uint64_t n) {
+    if (rounds_ != nullptr) {
+      rounds_->add(n);
+    }
+  }
+  void add_agent_steps(std::uint64_t n) {
+    if (agent_steps_ != nullptr) {
+      agent_steps_->add(n);
+    }
+  }
+
+  /// RAII timer for one phase of one round: records into the phase
+  /// histogram and (when tracing) emits a complete trace event.
+  class PhaseSpan {
+   public:
+    PhaseSpan(EngineTap& tap, std::size_t phase)
+        : tap_(tap.active_ ? &tap : nullptr), phase_(phase) {
+      if (tap_ != nullptr) {
+        start_ = std::chrono::steady_clock::now();
+      }
+    }
+
+    PhaseSpan(const PhaseSpan&) = delete;
+    PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+    ~PhaseSpan() {
+      if (tap_ == nullptr) {
+        return;
+      }
+      const auto end = std::chrono::steady_clock::now();
+      const double seconds =
+          std::chrono::duration<double>(end - start_).count();
+      if (tap_->phase_hist_[phase_] != nullptr) {
+        tap_->phase_hist_[phase_]->observe(seconds);
+      }
+      if (tap_->trace_ != nullptr) {
+        tap_->trace_->add_complete(tap_->phase_names_[phase_], "engine",
+                                   tap_->trace_->us_since_epoch(start_),
+                                   seconds * 1e6);
+      }
+    }
+
+   private:
+    EngineTap* tap_;
+    std::size_t phase_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+ private:
+  friend class PhaseSpan;
+
+  bool active_ = false;
+  TraceRecorder* trace_ = nullptr;
+  Counter* rounds_ = nullptr;
+  Counter* agent_steps_ = nullptr;
+  std::size_t n_phases_ = 0;
+  std::array<const char*, kMaxPhases> phase_names_{};
+  std::array<Histogram*, kMaxPhases> phase_hist_{};
+};
+
+}  // namespace antdense::obs

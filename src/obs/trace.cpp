@@ -1,0 +1,88 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+
+namespace antdense::obs {
+
+namespace {
+
+/// Small stable id for the calling OS thread, for the trace "tid"
+/// field (raw std::thread::id values are unreadable in a viewer).
+std::uint32_t trace_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::uint64_t max_bytes)
+    : max_bytes_(max_bytes), epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint64_t TraceRecorder::estimate_bytes(const Event& e) {
+  // Fixed JSON scaffolding (~90 bytes per event) plus variable text.
+  return 90 + e.name.size() + e.category.size() + e.args_json.size();
+}
+
+void TraceRecorder::add_complete(const std::string& name,
+                                 const std::string& category, double ts_us,
+                                 double dur_us,
+                                 const std::string& args_json) {
+  Event e{name, category, ts_us, dur_us, trace_thread_id(), args_json};
+  const std::uint64_t cost = estimate_bytes(e);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(e));
+  bytes_ += cost;
+  while (bytes_ > max_bytes_ && events_.size() > 1) {
+    bytes_ -= estimate_bytes(events_.front());
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::uint64_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+util::JsonValue TraceRecorder::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::JsonValue events = util::JsonValue::array();
+  for (const Event& e : events_) {
+    util::JsonValue ev = util::JsonValue::object();
+    ev.set("name", e.name);
+    ev.set("cat", e.category);
+    ev.set("ph", "X");
+    ev.set("ts", e.ts_us);
+    ev.set("dur", e.dur_us);
+    ev.set("pid", std::uint32_t{1});
+    ev.set("tid", e.tid);
+    if (!e.args_json.empty()) {
+      ev.set("args", util::JsonValue::parse(e.args_json));
+    }
+    events.push_back(std::move(ev));
+  }
+  util::JsonValue out = util::JsonValue::object();
+  out.set("traceEvents", std::move(events));
+  out.set("displayTimeUnit", "ms");
+  if (dropped_ > 0) {
+    out.set("droppedEvents", dropped_);
+  }
+  return out;
+}
+
+std::string TraceRecorder::dump() const { return to_json().dump(0) + "\n"; }
+
+}  // namespace antdense::obs

@@ -1,0 +1,121 @@
+// TraceRecorder — Chrome trace-event (catapult) JSON spans.
+//
+// Records complete ("ph":"X") events with microsecond timestamps
+// relative to the recorder's construction.  Events live in a
+// byte-capped ring: when the estimated serialized size exceeds the
+// cap, the oldest events are dropped (and counted), so a million-round
+// run cannot grow the trace without bound.  The output loads directly
+// in chrome://tracing or https://ui.perfetto.dev.
+//
+// Threading: add() takes a mutex — traces are recorded at phase/span
+// granularity (per round, per request, per experiment), never per
+// agent-step, so the lock is off every hot inner loop.  Thread ids in
+// the output are small stable integers assigned per OS thread on
+// first use.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace antdense::obs {
+
+class TraceRecorder {
+ public:
+  /// `max_bytes` caps the estimated serialized size of retained
+  /// events (default 4 MiB).
+  explicit TraceRecorder(std::uint64_t max_bytes = 4ull << 20);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Microseconds since recorder construction (monotonic).
+  double now_us() const;
+
+  /// Converts a steady_clock time point to this recorder's timeline —
+  /// lets callers time with the clock they already hold instead of
+  /// calling now_us() twice.
+  double us_since_epoch(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration<double, std::micro>(tp - epoch_).count();
+  }
+
+  /// Records a complete event spanning [ts_us, ts_us + dur_us) on the
+  /// calling thread.  `args_json` is an optional pre-serialized JSON
+  /// object ("" for none).
+  void add_complete(const std::string& name, const std::string& category,
+                    double ts_us, double dur_us,
+                    const std::string& args_json = "");
+
+  /// Number of events dropped so far to honor the byte cap.
+  std::uint64_t dropped() const;
+  std::uint64_t event_count() const;
+
+  /// {"traceEvents":[...], "displayTimeUnit":"ms"} plus a
+  /// "droppedEvents" count when the ring overflowed.
+  util::JsonValue to_json() const;
+  std::string dump() const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    double ts_us;
+    double dur_us;
+    std::uint32_t tid;
+    std::string args_json;
+  };
+
+  static std::uint64_t estimate_bytes(const Event& e);
+
+  mutable std::mutex mutex_;
+  std::deque<Event> events_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t max_bytes_;
+  std::uint64_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: records a complete event on destruction covering the
+/// scope's lifetime.  A null recorder makes construction and
+/// destruction near-free (one branch each), which is how disabled
+/// tracing stays off the hot path.
+class SpanScope {
+ public:
+  SpanScope(TraceRecorder* recorder, std::string name, std::string category)
+      : recorder_(recorder) {
+    if (recorder_ != nullptr) {
+      name_ = std::move(name);
+      category_ = std::move(category);
+      start_us_ = recorder_->now_us();
+    }
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// Attaches args to the event emitted at scope exit (pre-serialized
+  /// JSON object text).
+  void set_args(std::string args_json) { args_json_ = std::move(args_json); }
+
+  ~SpanScope() {
+    if (recorder_ != nullptr) {
+      recorder_->add_complete(name_, category_,
+                              start_us_, recorder_->now_us() - start_us_,
+                              args_json_);
+    }
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  std::string name_;
+  std::string category_;
+  double start_us_ = 0.0;
+  std::string args_json_;
+};
+
+}  // namespace antdense::obs

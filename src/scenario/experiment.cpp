@@ -7,6 +7,7 @@
 
 #include "core/density_estimator.hpp"
 #include "core/property_frequency.hpp"
+#include "obs/telemetry.hpp"
 #include "rng/splitmix64.hpp"
 #include "scenario/ball_density.hpp"
 #include "sim/density_sim.hpp"
@@ -186,6 +187,13 @@ ScenarioResult Experiment::run() const { return run(ProgressHooks{}); }
 
 ScenarioResult Experiment::run(const ProgressHooks& hooks) const {
   util::WallTimer timer;
+  // Trace the whole workload as one span (RNG-neutral: a trace scope
+  // observes wall time only).  The ambient bundle is also what the
+  // property fan-out below re-installs inside its workers.
+  obs::Telemetry* telemetry = obs::ambient_telemetry();
+  obs::SpanScope workload_span(
+      telemetry != nullptr ? telemetry->trace : nullptr,
+      workload_name(spec_.workload), "scenario");
   ScenarioResult result;
   result.spec = spec_;
   result.topology_name = topo_.name();
@@ -259,6 +267,10 @@ ScenarioResult Experiment::run(const ProgressHooks& hooks) const {
       util::parallel_for(
           spec_.trials,
           [&](std::size_t trial) {
+            // parallel_for workers have no ambient telemetry of their
+            // own; propagate the experiment's bundle so engine taps
+            // fire inside each trial.
+            obs::ScopedTelemetry ambient(telemetry);
             const std::uint64_t trial_seed =
                 spec_.trials == 1 ? spec_.seed
                                   : rng::derive_seed(spec_.seed, trial);

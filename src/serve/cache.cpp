@@ -20,15 +20,44 @@ util::JsonValue CacheStats::to_json() const {
   doc.set("capacity_bytes", capacity_bytes);
   doc.set("in_flight", in_flight);
   doc.set("warm_loaded", warm_loaded);
+  doc.set("journal_bytes", journal_bytes);
   return doc;
 }
 
 ResultCache::ResultCache(std::string journal_path,
-                         std::uint64_t capacity_bytes, std::string cache_name)
+                         std::uint64_t capacity_bytes, std::string cache_name,
+                         obs::Telemetry telemetry)
     : journal_path_(std::move(journal_path)),
       cache_name_(std::move(cache_name)),
-      capacity_bytes_(capacity_bytes) {
-  stats_.capacity_bytes = capacity_bytes_;
+      capacity_bytes_(capacity_bytes),
+      trace_(telemetry.trace) {
+  obs::MetricsRegistry* reg = telemetry.metrics;
+  if (reg == nullptr) {
+    own_registry_ = std::make_unique<obs::MetricsRegistry>();
+    reg = own_registry_.get();
+  }
+  hits_memory_ = &reg->counter("antdense_cache_hits_total",
+                               {{"tier", "memory"}},
+                               "Cache hits by serving tier");
+  hits_disk_ =
+      &reg->counter("antdense_cache_hits_total", {{"tier", "disk"}});
+  coalesced_ =
+      &reg->counter("antdense_cache_hits_total", {{"tier", "coalesced"}});
+  misses_ = &reg->counter("antdense_cache_misses_total", {},
+                          "Lookups no tier could serve");
+  executions_ = &reg->counter("antdense_cache_executions_total", {},
+                              "Executions started for cache misses");
+  evictions_ = &reg->counter("antdense_cache_evictions_total", {},
+                             "Tier-1 LRU evictions");
+  entries_gauge_ =
+      &reg->gauge("antdense_cache_entries", {}, "Tier-1 entries resident");
+  bytes_gauge_ =
+      &reg->gauge("antdense_cache_bytes", {}, "Tier-1 payload bytes resident");
+  in_flight_gauge_ = &reg->gauge("antdense_cache_in_flight", {},
+                                 "Executions running right now");
+  journal_bytes_gauge_ =
+      &reg->gauge("antdense_cache_journal_bytes", {},
+                  "Disk-tier journal size in bytes (append-only)");
   if (journal_path_.empty()) {
     return;
   }
@@ -60,7 +89,15 @@ ResultCache::ResultCache(std::string journal_path,
     offset += line.size() + 1;
   }
   file_end_ = offset;
-  stats_.warm_loaded = disk_index_.size();
+  warm_loaded_ = disk_index_.size();
+  journal_bytes_gauge_->set(static_cast<std::int64_t>(file_end_));
+}
+
+void ResultCache::update_gauges_locked() {
+  entries_gauge_->set(static_cast<std::int64_t>(entries_.size()));
+  bytes_gauge_->set(static_cast<std::int64_t>(bytes_));
+  in_flight_gauge_->set(static_cast<std::int64_t>(in_flight_.size()));
+  journal_bytes_gauge_->set(static_cast<std::int64_t>(file_end_));
 }
 
 void ResultCache::insert_memory_locked(const std::string& id,
@@ -84,8 +121,9 @@ void ResultCache::insert_memory_locked(const std::string& id,
     bytes_ -= vit->second.payload.size() + victim.size();
     entries_.erase(vit);
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_->add(1);
   }
+  update_gauges_locked();
 }
 
 std::string ResultCache::read_disk_slot(const DiskSlot& slot) const {
@@ -111,13 +149,14 @@ std::string ResultCache::read_disk_slot(const DiskSlot& slot) const {
 }
 
 bool ResultCache::lookup(const std::string& id, std::string* payload) {
+  const obs::SpanScope span(trace_, "cache-lookup", "serve");
   DiskSlot slot;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(id);
     if (it != entries_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      ++stats_.hits_memory;
+      hits_memory_->add(1);
       if (payload != nullptr) {
         *payload = it->second.payload;
       }
@@ -125,7 +164,7 @@ bool ResultCache::lookup(const std::string& id, std::string* payload) {
     }
     auto dit = disk_index_.find(id);
     if (dit == disk_index_.end()) {
-      ++stats_.misses;
+      misses_->add(1);
       return false;
     }
     slot = dit->second;
@@ -135,7 +174,7 @@ bool ResultCache::lookup(const std::string& id, std::string* payload) {
   std::string loaded = read_disk_slot(slot);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.hits_disk;
+    hits_disk_->add(1);
     insert_memory_locked(id, loaded);
   }
   if (payload != nullptr) {
@@ -156,11 +195,12 @@ CacheOutcome ResultCache::get_or_run(
   std::shared_ptr<InFlight> wait_on;
   std::shared_ptr<InFlight> mine;
   {
+    const obs::SpanScope span(trace_, "cache-lookup", "serve");
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(id);
     if (it != entries_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      ++stats_.hits_memory;
+      hits_memory_->add(1);
       return CacheOutcome{it->second.payload, true};
     }
     auto dit = disk_index_.find(id);
@@ -171,13 +211,13 @@ CacheOutcome ResultCache::get_or_run(
       auto fit = in_flight_.find(id);
       if (fit != in_flight_.end()) {
         wait_on = fit->second;
-        ++stats_.coalesced;
+        coalesced_->add(1);
       } else {
         mine = std::make_shared<InFlight>();
         in_flight_.emplace(id, mine);
-        ++stats_.misses;
-        ++stats_.executions;
-        ++stats_.in_flight;
+        misses_->add(1);
+        executions_->add(1);
+        update_gauges_locked();
       }
     }
   }
@@ -186,7 +226,7 @@ CacheOutcome ResultCache::get_or_run(
     std::string loaded = read_disk_slot(slot);
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.hits_disk;
+      hits_disk_->add(1);
       insert_memory_locked(id, loaded);
     }
     return CacheOutcome{std::move(loaded), true};
@@ -213,13 +253,13 @@ CacheOutcome ResultCache::get_or_run(
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    --stats_.in_flight;
     in_flight_.erase(id);
     if (!error) {
       if (journal_) {
         // Journal before publishing: a crash between the two leaves a
         // re-runnable miss, never a memory-only result that a restart
         // silently forgets.
+        const obs::SpanScope journal_span(trace_, "journal-append", "serve");
         util::JsonValue record = util::JsonValue::object();
         record.set("schema", campaign::kJournalSchema);
         record.set("campaign", cache_name_);
@@ -232,6 +272,7 @@ CacheOutcome ResultCache::get_or_run(
       }
       insert_memory_locked(id, payload);
     }
+    update_gauges_locked();
   }
   {
     std::lock_guard<std::mutex> flock(mine->mutex);
@@ -247,11 +288,20 @@ CacheOutcome ResultCache::get_or_run(
 }
 
 CacheStats ResultCache::stats() const {
+  CacheStats out;
+  out.hits_memory = hits_memory_->value();
+  out.hits_disk = hits_disk_->value();
+  out.misses = misses_->value();
+  out.coalesced = coalesced_->value();
+  out.executions = executions_->value();
+  out.evictions = evictions_->value();
   std::lock_guard<std::mutex> lock(mutex_);
-  CacheStats out = stats_;
   out.entries = entries_.size();
   out.bytes = bytes_;
   out.capacity_bytes = capacity_bytes_;
+  out.in_flight = in_flight_.size();
+  out.warm_loaded = warm_loaded_;
+  out.journal_bytes = file_end_;
   return out;
 }
 

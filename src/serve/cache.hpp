@@ -38,11 +38,16 @@
 #include <unordered_map>
 
 #include "campaign/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "util/json.hpp"
 
 namespace antdense::serve {
 
-/// Counters for the cache_stats endpoint and the cache tests.  Hit
+/// Snapshot for the cache_stats endpoint and the cache tests.  The
+/// authoritative counters live on an obs::MetricsRegistry (the
+/// daemon's, or a private one when none is supplied); this struct is
+/// the endpoint's stable JSON shape read back from them.  Hit
 /// accounting: hits_memory + hits_disk + coalesced requests were served
 /// without a new execution; misses == executions always (every miss
 /// executes exactly once; coalesced waiters are not misses).
@@ -58,6 +63,10 @@ struct CacheStats {
   std::uint64_t capacity_bytes = 0;
   std::uint64_t in_flight = 0;      // executions running right now
   std::uint64_t warm_loaded = 0;    // ids indexed from the journal at start
+  /// Disk-tier journal size in bytes.  The journal only grows (no
+  /// disk-tier eviction yet — ROADMAP item 3), so this is the number
+  /// to watch on a long-lived daemon.
+  std::uint64_t journal_bytes = 0;
 
   std::uint64_t hits_total() const {
     return hits_memory + hits_disk + coalesced;
@@ -80,8 +89,12 @@ class ResultCache {
   /// restart); otherwise the journal is created/opened for append and
   /// its existing records are indexed as the warm disk tier.
   /// `cache_name` labels the journal records' "campaign" field.
+  /// `telemetry.metrics` hosts the cache's counters/gauges (a private
+  /// registry is created when null, so stats() always works);
+  /// `telemetry.trace` receives cache-lookup / journal-append spans.
   ResultCache(std::string journal_path, std::uint64_t capacity_bytes,
-              std::string cache_name = "antdense_serve");
+              std::string cache_name = "antdense_serve",
+              obs::Telemetry telemetry = {});
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -121,12 +134,32 @@ class ResultCache {
   /// Inserts into tier 1 and evicts from the cold end until the byte
   /// budget holds.  Caller holds mutex_.
   void insert_memory_locked(const std::string& id, const std::string& payload);
+  /// Refreshes the level gauges from tier-1/in-flight state.  Caller
+  /// holds mutex_.
+  void update_gauges_locked();
   /// Reads the record at `slot` and extracts its canonical payload.
   std::string read_disk_slot(const DiskSlot& slot) const;
 
   const std::string journal_path_;
   const std::string cache_name_;
   const std::uint64_t capacity_bytes_;
+
+  // The counters live on a MetricsRegistry so the daemon's `metrics`
+  // endpoint exports them alongside everything else; a cache built
+  // without one gets its own private registry.
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::Counter* hits_memory_ = nullptr;
+  obs::Counter* hits_disk_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* coalesced_ = nullptr;
+  obs::Counter* executions_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Gauge* entries_gauge_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
+  obs::Gauge* in_flight_gauge_ = nullptr;
+  obs::Gauge* journal_bytes_gauge_ = nullptr;
+  std::uint64_t warm_loaded_ = 0;
 
   mutable std::mutex mutex_;
   // Tier 1: lru_ front = hottest; entries_ maps id -> (payload, lru pos).
@@ -143,7 +176,6 @@ class ResultCache {
   std::uint64_t file_end_ = 0;  // append offset (this cache is the sole writer)
   // Single-flight.
   std::unordered_map<std::string, std::shared_ptr<InFlight>> in_flight_;
-  CacheStats stats_;
 };
 
 }  // namespace antdense::serve

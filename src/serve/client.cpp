@@ -66,6 +66,10 @@ util::JsonValue Client::server_info() {
   return request(make_envelope("server_info"));
 }
 
+util::JsonValue Client::metrics() {
+  return request(make_envelope("metrics"));
+}
+
 util::JsonValue Client::shutdown() {
   return request(make_envelope("shutdown"));
 }

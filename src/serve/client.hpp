@@ -41,6 +41,10 @@ class Client {
 
   util::JsonValue cache_stats();
   util::JsonValue server_info();
+  /// {"type": "metrics"}: the daemon's live MetricsRegistry snapshot,
+  /// as both ordered JSON ("metrics") and Prometheus text
+  /// ("prometheus").
+  util::JsonValue metrics();
   /// Asks the daemon to stop; returns its shutdown_ack.
   util::JsonValue shutdown();
 

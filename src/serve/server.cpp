@@ -31,6 +31,36 @@ std::string canonical_result_payload(const scenario::ScenarioResult& result) {
   return doc.dump(0);
 }
 
+/// Time-based progress-frame throttle, shared by run and sweep
+/// requests.  should_send is callable from concurrent trial workers:
+/// the check-then-store on last_us_ is deliberately racy (worst case
+/// one extra frame), but the done == total final frame passes
+/// unconditionally — that guarantee is pinned in tests/test_serve.cpp.
+class ProgressThrottle {
+ public:
+  explicit ProgressThrottle(std::uint32_t interval_ms)
+      : interval_us_(static_cast<std::int64_t>(interval_ms) * 1000) {}
+
+  bool should_send(std::uint64_t done, std::uint64_t total) {
+    if (done == total || interval_us_ == 0) {
+      return true;
+    }
+    const auto now =
+        static_cast<std::int64_t>(timer_.elapsed_nanos() / 1000);
+    const std::int64_t last = last_us_.load(std::memory_order_relaxed);
+    if (last >= 0 && now - last < interval_us_) {
+      return false;
+    }
+    last_us_.store(now, std::memory_order_relaxed);
+    return true;
+  }
+
+ private:
+  std::int64_t interval_us_;
+  util::WallTimer timer_;
+  std::atomic<std::int64_t> last_us_{-1};
+};
+
 double payload_rel_error(const util::JsonValue& result_doc) {
   const util::JsonValue* truth = result_doc.find("true_value");
   const util::JsonValue* summary = result_doc.find("summary");
@@ -53,7 +83,10 @@ double payload_rel_error(const util::JsonValue& result_doc) {
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       registry_(scenario::Registry::built_in()),
-      cache_(options_.journal_path, options_.cache_bytes),
+      trace_(options_.trace_bytes),
+      telemetry_{&metrics_, &trace_},
+      cache_(options_.journal_path, options_.cache_bytes, "antdense_serve",
+             telemetry_),
       listener_(options_.port) {}
 
 Server::~Server() { stop(); }
@@ -147,6 +180,10 @@ bool Server::send_json(Connection& conn, const util::JsonValue& doc) {
 }
 
 void Server::serve_connection(Connection& conn) {
+  // Every request handled on this connection thread sees the daemon's
+  // telemetry as ambient — engine taps inside executed experiments
+  // record into the shared registry.
+  obs::ScopedTelemetry ambient(&telemetry_);
   std::string payload;
   while (!stopping_.load(std::memory_order_acquire)) {
     const FrameStatus status = read_frame(conn.socket, payload);
@@ -184,6 +221,18 @@ void Server::serve_connection(Connection& conn) {
 util::JsonValue Server::handle_request(Connection& conn,
                                        const util::JsonValue& request) {
   const std::string type = envelope_type(request);
+  // Known types only feed the counter label — a client typo must not
+  // mint unbounded label cardinality.
+  const bool known = type == "run" || type == "sweep" ||
+                     type == "cache_stats" || type == "server_info" ||
+                     type == "metrics" || type == "shutdown";
+  metrics_
+      .counter("antdense_serve_requests_total",
+               {{"type", known ? type : std::string("unknown")}},
+               "Requests handled by type")
+      .add(1);
+  obs::SpanScope span(&trace_, known ? type : std::string("unknown"),
+                      "serve");
   if (type == "run") {
     return handle_run(conn, request);
   }
@@ -197,6 +246,14 @@ util::JsonValue Server::handle_request(Connection& conn,
   }
   if (type == "server_info") {
     return server_info();
+  }
+  if (type == "metrics") {
+    // Live stats: the ordered JSON snapshot plus the same registry as
+    // Prometheus text exposition, ready for a scraper to relay.
+    util::JsonValue response = make_envelope("metrics");
+    response.set("metrics", metrics_.to_json());
+    response.set("prometheus", metrics_.to_prometheus());
+    return response;
   }
   if (type == "shutdown") {
     return make_envelope("shutdown_ack");
@@ -225,8 +282,13 @@ util::JsonValue Server::handle_run(Connection& conn,
     scenario::ProgressHooks hooks;
     hooks.round_stride = options_.progress_stride;
     if (want_progress) {
-      hooks.on_progress = [this, &conn, &id](std::uint64_t done,
-                                             std::uint64_t total) {
+      const auto throttle =
+          std::make_shared<ProgressThrottle>(options_.progress_interval_ms);
+      hooks.on_progress = [this, &conn, &id, throttle](std::uint64_t done,
+                                                       std::uint64_t total) {
+        if (!throttle->should_send(done, total)) {
+          return;
+        }
         util::JsonValue frame = make_envelope("progress");
         frame.set("id", id);
         frame.set("done", done);
@@ -263,6 +325,7 @@ util::JsonValue Server::handle_sweep(Connection& conn,
 
   util::WallTimer timer;
   util::JsonValue experiments = util::JsonValue::array();
+  ProgressThrottle throttle(options_.progress_interval_ms);
   std::size_t executed = 0;
   std::size_t cache_hits = 0;
   // Experiments run in expansion order, each through the shared cache
@@ -295,7 +358,7 @@ util::JsonValue Server::handle_sweep(Connection& conn,
     }
     entry.set("rel_error", payload_rel_error(result_doc));
     experiments.push_back(std::move(entry));
-    if (want_progress) {
+    if (want_progress && throttle.should_send(i + 1, planned.size())) {
       util::JsonValue frame = make_envelope("progress");
       frame.set("id", id);
       frame.set("done", static_cast<std::uint64_t>(i + 1));
@@ -325,6 +388,8 @@ util::JsonValue Server::server_info() const {
                                              : options_.journal_path);
   response.set("cache_capacity_bytes", options_.cache_bytes);
   response.set("threads", static_cast<std::uint64_t>(options_.threads));
+  response.set("progress_interval_ms",
+               static_cast<std::uint64_t>(options_.progress_interval_ms));
   util::JsonValue families = util::JsonValue::array();
   for (const std::string& name : registry_.family_names()) {
     families.push_back(name);

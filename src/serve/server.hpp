@@ -66,6 +66,14 @@ struct ServerOptions {
   /// Round-progress stride forwarded to Experiment's ProgressHooks
   /// (0 = auto).
   std::uint32_t progress_stride = 0;
+  /// Minimum milliseconds between progress frames on one request —
+  /// per-round progress on a 10^6-round run would otherwise flood the
+  /// connection.  The final done == total frame is always delivered.
+  /// 0 = unthrottled (every stride tick becomes a frame).
+  std::uint32_t progress_interval_ms = 100;
+  /// Byte cap for the daemon's trace-event ring (per-request and
+  /// cache/journal spans; oldest events drop first).
+  std::uint64_t trace_bytes = 4ull << 20;
 };
 
 class Server {
@@ -80,6 +88,7 @@ class Server {
 
   std::uint16_t port() const { return listener_.port(); }
   const ResultCache& cache() const { return cache_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   void start();
   /// Blocks until a shutdown request arrives or `extra_wake_fd` (e.g.
@@ -111,6 +120,11 @@ class Server {
 
   ServerOptions options_;
   const scenario::Registry& registry_;
+  // Telemetry precedes the cache so the cache can hang its counters on
+  // the daemon's registry (exported by the `metrics` endpoint).
+  obs::MetricsRegistry metrics_;
+  obs::TraceRecorder trace_;
+  obs::Telemetry telemetry_;
   ResultCache cache_;
   util::ListenSocket listener_;
   util::WakePipe wake_;           // pokes the accept loop out of poll

@@ -143,6 +143,11 @@ void run_walk_sharded(const T& topo, const WalkConfig& cfg,
   const bool lazy = cfg.lazy_probability > 0.0;
   const bool concurrent = threads > 1;
 
+  // Resolved on the caller thread; phase spans wrap the serial seams
+  // around the two parallel phases (no new barriers), while striped
+  // counter adds inside phase A come from the workers themselves.
+  obs::EngineTap tap("sharded", {"step_count", "observe"});
+
   std::uint32_t round = 0;
   const auto make_view = [&](std::uint32_t s) {
     return ShardRoundView{round,
@@ -184,6 +189,9 @@ void run_walk_sharded(const T& topo, const WalkConfig& cfg,
         counter.add_serial(keys[i]);
       }
     }
+    // Per-worker sink: each pool worker lands on its own striped slot,
+    // and the total is Σ shard sizes — exact for any thread count.
+    tap.add_agent_steps(e - b);
     const ShardRoundView view = make_view(s);
     (detail::notify_fill(observers, view, std::span<const node>(pos)), ...);
   };
@@ -213,19 +221,29 @@ void run_walk_sharded(const T& topo, const WalkConfig& cfg,
   for (round = 1; round <= cfg.rounds; ++round) {
     counter.begin_round();
     (detail::notify_begin_round(observers, round), ...);
-    if (concurrent) {
-      pool->run(n_shards, phase_a_fn);
-      pool->run(n_shards, phase_b_fn);
-    } else {
-      for (std::uint32_t s = 0; s < n_shards; ++s) {
-        phase_a(s);
+    {
+      const obs::EngineTap::PhaseSpan phase(tap, 0);
+      if (concurrent) {
+        pool->run(n_shards, phase_a_fn);
+      } else {
+        for (std::uint32_t s = 0; s < n_shards; ++s) {
+          phase_a(s);
+        }
       }
-      for (std::uint32_t s = 0; s < n_shards; ++s) {
-        phase_b(s);
+    }
+    {
+      const obs::EngineTap::PhaseSpan phase(tap, 1);
+      if (concurrent) {
+        pool->run(n_shards, phase_b_fn);
+      } else {
+        for (std::uint32_t s = 0; s < n_shards; ++s) {
+          phase_b(s);
+        }
       }
     }
     (detail::notify_end_round(observers, round), ...);
   }
+  tap.add_rounds(cfg.rounds);
 }
 
 /// Algorithm 1 on the sharded engine: run_density_walk's contract

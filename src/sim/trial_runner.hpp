@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "graph/topology.hpp"
+#include "obs/telemetry.hpp"
 #include "rng/splitmix64.hpp"
 #include "sim/density_sim.hpp"
 #include "sim/sharded_walk.hpp"
@@ -40,9 +41,14 @@ std::vector<double> pool_trial_estimates(
     RunTrialFn&& run_trial,
     const std::function<void(std::size_t)>& on_trial_done = {}) {
   std::vector<std::vector<double>> per_trial(trials);
+  // Captured on the caller thread and re-installed per worker so
+  // engine taps fire inside each trial (telemetry never affects the
+  // estimates — trials are seeded by index, not by thread).
+  obs::Telemetry* telemetry = obs::ambient_telemetry();
   util::parallel_for(
       trials,
       [&](std::size_t trial) {
+        obs::ScopedTelemetry ambient(telemetry);
         per_trial[trial] = run_trial(trial);
         if (on_trial_done) {
           on_trial_done(trial);

@@ -112,23 +112,30 @@ void run_walk_vector_impl(
   std::vector<std::uint64_t> keys(n_agents);
   const bool lazy = cfg.lazy_probability > 0.0;
 
+  obs::EngineTap tap("vector", {"step", "count", "observe"});
   for (std::uint32_t r = 1; r <= cfg.rounds; ++r) {
     counter.begin_round();
-    if (lazy) {
-      // Interleaved stay/step draws, as in the scalar engines — lazy
-      // walks keep sequential consumption so the stream stays one flat
-      // sequence regardless of who moved.
-      for (std::uint32_t i = 0; i < n_agents; ++i) {
-        if (!rng::bernoulli(stream, cfg.lazy_probability)) {
-          pos[i] = topo.random_neighbor(pos[i], stream);
+    {
+      const obs::EngineTap::PhaseSpan phase(tap, 0);
+      if (lazy) {
+        // Interleaved stay/step draws, as in the scalar engines — lazy
+        // walks keep sequential consumption so the stream stays one
+        // flat sequence regardless of who moved.
+        for (std::uint32_t i = 0; i < n_agents; ++i) {
+          if (!rng::bernoulli(stream, cfg.lazy_probability)) {
+            pos[i] = topo.random_neighbor(pos[i], stream);
+          }
         }
+      } else {
+        graph::vector_step(topo, std::span<node>(pos), stream);
       }
-    } else {
-      graph::vector_step(topo, std::span<node>(pos), stream);
     }
-    graph::node_keys(topo, std::span<const node>(pos),
-                     std::span<std::uint64_t>(keys));
-    fill_counter(counter, keys);
+    {
+      const obs::EngineTap::PhaseSpan phase(tap, 1);
+      graph::node_keys(topo, std::span<const node>(pos),
+                       std::span<std::uint64_t>(keys));
+      fill_counter(counter, keys);
+    }
     const BasicRoundView<Counter> view{r,
                                        0,
                                        n_agents,
@@ -138,11 +145,16 @@ void run_walk_vector_impl(
                                        obs_gen,
                                        /*concurrent_fill=*/false};
     const std::span<const node> positions(pos);
-    (notify_begin_round(observers, r), ...);
-    (notify_fill(observers, view, positions), ...);
-    (notify_after_round(observers, view, positions), ...);
-    (notify_end_round(observers, r), ...);
+    {
+      const obs::EngineTap::PhaseSpan phase(tap, 2);
+      (notify_begin_round(observers, r), ...);
+      (notify_fill(observers, view, positions), ...);
+      (notify_after_round(observers, view, positions), ...);
+      (notify_end_round(observers, r), ...);
+    }
   }
+  tap.add_rounds(cfg.rounds);
+  tap.add_agent_steps(static_cast<std::uint64_t>(cfg.rounds) * n_agents);
 }
 
 }  // namespace detail

@@ -14,6 +14,16 @@ void WalkConfig::validate() const {
 CollisionObserver::CollisionObserver(std::uint32_t num_agents, Noise noise)
     : noise_(noise), counts_(num_agents, 0) {
   ANTDENSE_CHECK(num_agents >= 1, "need at least one agent");
+  // Resolved once at construction (on the caller thread, where ambient
+  // telemetry is installed); the striped counter is then safe to add to
+  // from any shard worker.  Counting happens on deterministic
+  // post-noise values, so totals are thread-count-invariant.
+  if (obs::Telemetry* tel = obs::ambient_telemetry();
+      tel != nullptr && tel->metrics != nullptr) {
+    collisions_tap_ = &tel->metrics->counter(
+        "antdense_collisions_observed_total", {},
+        "Collisions recorded by CollisionObserver (post sensing noise)");
+  }
   ANTDENSE_CHECK(noise.detection_miss >= 0.0 && noise.detection_miss <= 1.0,
                  "miss probability must be in [0,1]");
   ANTDENSE_CHECK(noise.spurious >= 0.0 && noise.spurious <= 1.0,

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "graph/topology.hpp"
+#include "obs/telemetry.hpp"
 #include "rng/random.hpp"
 #include "rng/xoshiro256pp.hpp"
 #include "sim/collision_counter.hpp"
@@ -127,11 +128,25 @@ class CollisionObserver {
     ANTDENSE_ASSERT(v.num_agents == counts_.size(),
                     "observer sized for a different agent count");
     if (noise_.detection_miss == 0.0 && noise_.spurious == 0.0) {
-      for (std::uint32_t i = v.begin_agent; i < v.end_agent; ++i) {
-        counts_[i] += v.counter.occupancy(v.keys[i]) - 1;
+      if (collisions_tap_ == nullptr) {
+        for (std::uint32_t i = v.begin_agent; i < v.end_agent; ++i) {
+          counts_[i] += v.counter.occupancy(v.keys[i]) - 1;
+        }
+      } else {
+        // Telemetry-enabled copy of the loop: the disabled path above
+        // carries no accumulator, keeping it identical to the frozen
+        // hot loop the bench overhead gate compares against.
+        std::uint64_t observed = 0;
+        for (std::uint32_t i = v.begin_agent; i < v.end_agent; ++i) {
+          const std::uint64_t others = v.counter.occupancy(v.keys[i]) - 1;
+          counts_[i] += others;
+          observed += others;
+        }
+        collisions_tap_->add(observed);
       }
       return;
     }
+    std::uint64_t observed = 0;
     for (std::uint32_t i = v.begin_agent; i < v.end_agent; ++i) {
       std::uint64_t others = v.counter.occupancy(v.keys[i]) - 1;
       if (noise_.detection_miss > 0.0) {
@@ -143,6 +158,10 @@ class CollisionObserver {
         ++others;
       }
       counts_[i] += others;
+      observed += others;
+    }
+    if (collisions_tap_ != nullptr) {
+      collisions_tap_->add(observed);
     }
   }
 
@@ -152,6 +171,9 @@ class CollisionObserver {
  private:
   Noise noise_;
   std::vector<std::uint64_t> counts_;
+  /// Resolved from ambient telemetry at construction; null when
+  /// telemetry is disabled (see walk_engine.cpp).
+  obs::Counter* collisions_tap_ = nullptr;
 };
 
 /// Two-class counting for Section 5.2: total encounters and encounters
@@ -319,24 +341,31 @@ void run_walk(const T& topo, const WalkConfig& cfg, std::uint64_t stream_seed,
   CollisionCounter counter(n_agents);
   const bool lazy = cfg.lazy_probability > 0.0;
 
+  obs::EngineTap tap("single", {"step", "count", "observe"});
   for (std::uint32_t r = 1; r <= cfg.rounds; ++r) {
     counter.begin_round();
-    if (lazy) {
-      // Interleaved stay/step draws — must match the legacy stream, so
-      // no batching here.
-      for (std::uint32_t i = 0; i < n_agents; ++i) {
-        if (!rng::bernoulli(gen, cfg.lazy_probability)) {
-          pos[i] = topo.random_neighbor(pos[i], gen);
+    {
+      const obs::EngineTap::PhaseSpan phase(tap, 0);
+      if (lazy) {
+        // Interleaved stay/step draws — must match the legacy stream,
+        // so no batching here.
+        for (std::uint32_t i = 0; i < n_agents; ++i) {
+          if (!rng::bernoulli(gen, cfg.lazy_probability)) {
+            pos[i] = topo.random_neighbor(pos[i], gen);
+          }
         }
+      } else {
+        graph::random_neighbors(topo, std::span<const node>(pos),
+                                std::span<node>(pos), gen);
       }
-    } else {
-      graph::random_neighbors(topo, std::span<const node>(pos),
-                              std::span<node>(pos), gen);
     }
-    graph::node_keys(topo, std::span<const node>(pos),
-                     std::span<std::uint64_t>(keys));
-    for (std::uint32_t i = 0; i < n_agents; ++i) {
-      counter.add(keys[i]);
+    {
+      const obs::EngineTap::PhaseSpan phase(tap, 1);
+      graph::node_keys(topo, std::span<const node>(pos),
+                       std::span<std::uint64_t>(keys));
+      for (std::uint32_t i = 0; i < n_agents; ++i) {
+        counter.add(keys[i]);
+      }
     }
     const RoundView view{r,
                          0,
@@ -347,11 +376,16 @@ void run_walk(const T& topo, const WalkConfig& cfg, std::uint64_t stream_seed,
                          gen,
                          /*concurrent_fill=*/false};
     const std::span<const node> positions(pos);
-    (detail::notify_begin_round(observers, r), ...);
-    (detail::notify_fill(observers, view, positions), ...);
-    (detail::notify_after_round(observers, view, positions), ...);
-    (detail::notify_end_round(observers, r), ...);
+    {
+      const obs::EngineTap::PhaseSpan phase(tap, 2);
+      (detail::notify_begin_round(observers, r), ...);
+      (detail::notify_fill(observers, view, positions), ...);
+      (detail::notify_after_round(observers, view, positions), ...);
+      (detail::notify_end_round(observers, r), ...);
+    }
   }
+  tap.add_rounds(cfg.rounds);
+  tap.add_agent_steps(static_cast<std::uint64_t>(cfg.rounds) * n_agents);
 }
 
 }  // namespace antdense::sim

@@ -22,6 +22,9 @@
 #include "campaign/aggregate.hpp"
 #include "campaign/journal.hpp"
 #include "campaign/spec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "scenario/registry.hpp"
 #include "util/json.hpp"
 #include "util/parallel.hpp"
@@ -670,6 +673,73 @@ TEST(CampaignAggregate, EndToEndEnvelopeCurves) {
     EXPECT_LE(g.mean_within_eps, 1.0);
   }
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Scheduler telemetry
+// ---------------------------------------------------------------------
+
+TEST(CampaignScheduler, PublishesTelemetryWithoutChangingTheJournal) {
+  const CampaignSpec camp = parse_campaign(R"({
+    "name": "telemetry",
+    "seed": 5,
+    "base": {"workload": "density", "agents": 12, "rounds": 10,
+             "trials": 1},
+    "axes": [
+      {"kind": "grid", "key": "topology",
+       "values": ["ring:64", "complete:32", "ring:128"]}
+    ]})");
+  const std::string plain_path = temp_path("campaign_tel_off.jsonl");
+  const std::string wired_path = temp_path("campaign_tel_on.jsonl");
+
+  campaign::run_campaign(camp, plain_path, RunOptions{});
+
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;
+  RunOptions wired;
+  wired.telemetry = obs::Telemetry{&metrics, &trace};
+  const RunReport report = campaign::run_campaign(camp, wired_path, wired);
+  EXPECT_EQ(report.executed, 3u);
+
+  // Telemetry never reaches the results: journals are bit-identical.
+  EXPECT_EQ(sorted_lines(plain_path), sorted_lines(wired_path));
+
+  // Scheduler counters and gauges reconcile with the report.
+  EXPECT_EQ(metrics.counter("antdense_campaign_experiments_total").value(),
+            3u);
+  EXPECT_EQ(metrics.gauge("antdense_campaign_scheduled").value(), 3);
+  EXPECT_EQ(metrics.gauge("antdense_campaign_completed").value(), 3);
+  EXPECT_EQ(metrics.gauge("antdense_campaign_queue_depth").value(), 0);
+
+  // Journal-byte accounting matches the file the scheduler wrote.
+  std::ifstream in(wired_path, std::ios::binary | std::ios::ate);
+  EXPECT_EQ(metrics.counter("antdense_campaign_journal_bytes_total").value(),
+            static_cast<std::uint64_t>(in.tellg()));
+
+  // Every experiment timed, and every one left an experiment span plus
+  // engine phase spans on the trace.
+  EXPECT_EQ(metrics.histogram("antdense_campaign_experiment_seconds")
+                .snapshot()
+                .count,
+            3u);
+  bool saw_experiment = false;
+  bool saw_journal_append = false;
+  const JsonValue trace_doc = trace.to_json();
+  for (const JsonValue& e : trace_doc.find("traceEvents")->items()) {
+    const std::string& name = e.find("name")->as_string();
+    saw_experiment = saw_experiment || name == "experiment";
+    saw_journal_append = saw_journal_append || name == "journal-append";
+  }
+  EXPECT_TRUE(saw_experiment);
+  EXPECT_TRUE(saw_journal_append);
+
+  // A resumed (fully cached) run schedules zero and appends nothing.
+  const RunReport cached = campaign::run_campaign(camp, wired_path, wired);
+  EXPECT_EQ(cached.executed, 0u);
+  EXPECT_EQ(metrics.counter("antdense_campaign_experiments_total").value(),
+            3u);
+  std::remove(plain_path.c_str());
+  std::remove(wired_path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,107 @@
+// TraceRecorder (obs/trace.hpp): Chrome trace-event JSON
+// well-formedness, the byte-capped ring's oldest-first eviction, span
+// nesting on the timeline, and the null-recorder no-op contract.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace antdense::obs {
+namespace {
+
+TEST(ObsTrace, EmitsWellFormedChromeTraceJson) {
+  TraceRecorder trace;
+  trace.add_complete("step", "engine", 10.0, 5.0);
+  trace.add_complete("observe", "engine", 16.0, 2.0,
+                     "{\"round\":3}");
+  EXPECT_EQ(trace.event_count(), 2u);
+  EXPECT_EQ(trace.dropped(), 0u);
+
+  // dump() must parse back as strict JSON with the catapult shape.
+  const util::JsonValue doc = util::JsonValue::parse(trace.dump());
+  ASSERT_NE(doc.find("traceEvents"), nullptr);
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ms");
+  const auto& events = doc.find("traceEvents")->items();
+  ASSERT_EQ(events.size(), 2u);
+  const util::JsonValue& first = events[0];
+  EXPECT_EQ(first.find("name")->as_string(), "step");
+  EXPECT_EQ(first.find("cat")->as_string(), "engine");
+  EXPECT_EQ(first.find("ph")->as_string(), "X");
+  EXPECT_EQ(first.find("ts")->as_double(), 10.0);
+  EXPECT_EQ(first.find("dur")->as_double(), 5.0);
+  EXPECT_EQ(first.find("pid")->as_uint(), 1u);
+  ASSERT_NE(first.find("tid"), nullptr);
+  // args round-trip as a JSON object, not as an escaped string.
+  const util::JsonValue& second = events[1];
+  ASSERT_NE(second.find("args"), nullptr);
+  EXPECT_EQ(second.find("args")->find("round")->as_uint(), 3u);
+}
+
+TEST(ObsTrace, ByteCapDropsOldestEventsFirst) {
+  // A cap small enough that a few hundred events must overflow it.
+  TraceRecorder trace(/*max_bytes=*/4096);
+  for (int i = 0; i < 500; ++i) {
+    trace.add_complete("event-" + std::to_string(i), "test",
+                       static_cast<double>(i), 1.0);
+  }
+  EXPECT_GT(trace.dropped(), 0u);
+  EXPECT_LT(trace.event_count(), 500u);
+  EXPECT_EQ(trace.event_count() + trace.dropped(), 500u);
+
+  const util::JsonValue doc = trace.to_json();
+  EXPECT_EQ(doc.find("droppedEvents")->as_uint(), trace.dropped());
+  const auto& events = doc.find("traceEvents")->items();
+  // Survivors are the most recent events, still in order.
+  EXPECT_EQ(events.back().find("name")->as_string(), "event-499");
+  double prev_ts = -1.0;
+  for (const util::JsonValue& e : events) {
+    EXPECT_GT(e.find("ts")->as_double(), prev_ts);
+    prev_ts = e.find("ts")->as_double();
+  }
+}
+
+TEST(ObsTrace, SpanScopesNestOnTheTimeline) {
+  TraceRecorder trace;
+  {
+    SpanScope outer(&trace, "outer", "test");
+    {
+      SpanScope inner(&trace, "inner", "test");
+      inner.set_args("{\"k\":1}");
+    }
+  }
+  // Inner destructs first, so it is recorded first.
+  const util::JsonValue doc = trace.to_json();
+  const auto& events = doc.find("traceEvents")->items();
+  ASSERT_EQ(events.size(), 2u);
+  const util::JsonValue& inner = events[0];
+  const util::JsonValue& outer = events[1];
+  EXPECT_EQ(inner.find("name")->as_string(), "inner");
+  EXPECT_EQ(outer.find("name")->as_string(), "outer");
+  // The outer span must fully contain the inner one.
+  const double inner_start = inner.find("ts")->as_double();
+  const double inner_end = inner_start + inner.find("dur")->as_double();
+  const double outer_start = outer.find("ts")->as_double();
+  const double outer_end = outer_start + outer.find("dur")->as_double();
+  EXPECT_LE(outer_start, inner_start);
+  EXPECT_GE(outer_end, inner_end);
+  EXPECT_EQ(inner.find("args")->find("k")->as_uint(), 1u);
+}
+
+TEST(ObsTrace, NullRecorderSpanIsANoOp) {
+  // Must not crash, allocate the strings, or record anywhere.
+  SpanScope span(nullptr, "ghost", "test");
+  span.set_args("{\"ignored\":true}");
+}
+
+TEST(ObsTrace, EmptyRecorderStillDumpsAValidDocument) {
+  TraceRecorder trace;
+  const util::JsonValue doc = util::JsonValue::parse(trace.dump());
+  EXPECT_EQ(doc.find("traceEvents")->items().size(), 0u);
+  EXPECT_EQ(doc.find("droppedEvents"), nullptr);
+}
+
+}  // namespace
+}  // namespace antdense::obs

@@ -475,6 +475,104 @@ TEST(ServeServer, SweepRunsThroughTheSharedCache) {
   server.stop();
 }
 
+TEST(ServeServer, MetricsEndpointExportsBothFormats) {
+  Server server(test_options());
+  server.start();
+  Client client(server.port());
+  client.run(small_spec(410));
+
+  const util::JsonValue response = client.metrics();
+  ASSERT_EQ(envelope_type(response), "metrics");
+
+  // The JSON snapshot carries the request counter and the engine taps
+  // that fired inside the executed experiment.
+  const util::JsonValue* metrics = response.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const util::JsonValue* runs =
+      metrics->find("antdense_serve_requests_total{type=\"run\"}");
+  ASSERT_NE(runs, nullptr);
+  EXPECT_EQ(runs->find("value")->as_uint(), 1u);
+  const util::JsonValue* rounds =
+      metrics->find("antdense_engine_rounds_total{engine=\"single\"}");
+  ASSERT_NE(rounds, nullptr) << "engine taps must fire inside the daemon";
+  EXPECT_GT(rounds->find("value")->as_uint(), 0u);
+
+  // The Prometheus text is exposed alongside, same registry.
+  const util::JsonValue* prom = response.find("prometheus");
+  ASSERT_NE(prom, nullptr);
+  EXPECT_NE(prom->as_string().find(
+                "antdense_serve_requests_total{type=\"run\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom->as_string().find("# TYPE antdense_cache_hits_total counter"),
+            std::string::npos);
+
+  // Unknown request types are capped onto one label value.
+  util::JsonValue bogus = make_envelope("no_such_request");
+  const util::JsonValue err = client.request(bogus);
+  EXPECT_EQ(envelope_type(err), "error");
+  const util::JsonValue after = client.metrics();
+  const util::JsonValue* unknown = after.find("metrics")->find(
+      "antdense_serve_requests_total{type=\"unknown\"}");
+  ASSERT_NE(unknown, nullptr);
+  EXPECT_EQ(unknown->find("value")->as_uint(), 1u);
+  server.stop();
+}
+
+TEST(ServeServer, CacheStatsReportJournalBytesThatGrow) {
+  const std::string path = temp_path("serve_journal_bytes.jsonl");
+  Server server(test_options(path));
+  server.start();
+  Client client(server.port());
+
+  client.run(small_spec(411));
+  const std::uint64_t after_one = client.cache_stats()
+                                      .find("stats")
+                                      ->find("journal_bytes")
+                                      ->as_uint();
+  EXPECT_GT(after_one, 0u) << "an executed result must hit the journal";
+
+  // A warm hit appends nothing; a new identity grows the journal.
+  client.run(small_spec(411));
+  EXPECT_EQ(client.cache_stats()
+                .find("stats")
+                ->find("journal_bytes")
+                ->as_uint(),
+            after_one);
+  client.run(small_spec(412));
+  EXPECT_GT(client.cache_stats()
+                .find("stats")
+                ->find("journal_bytes")
+                ->as_uint(),
+            after_one);
+  server.stop();
+  std::remove(path.c_str());
+}
+
+TEST(ServeServer, ProgressThrottleStillDeliversTheFinalFrame) {
+  // An hour-long interval suppresses every intermediate frame, but the
+  // done == total frame is pinned unconditional — clients block on it.
+  ServerOptions options = test_options();
+  options.progress_interval_ms = 3'600'000;
+  Server server(options);
+  server.start();
+  Client client(server.port());
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ticks;
+  const util::JsonValue response = client.run(
+      small_spec(413), /*want_progress=*/true,
+      [&](std::uint64_t done, std::uint64_t total) {
+        ticks.emplace_back(done, total);
+      });
+  ASSERT_EQ(envelope_type(response), "result");
+  ASSERT_FALSE(ticks.empty());
+  EXPECT_EQ(ticks.back().first, ticks.back().second)
+      << "the completion frame must survive any throttle interval";
+  // Everything else was throttled away (the first frame may slip
+  // through before the interval starts counting).
+  EXPECT_LE(ticks.size(), 2u);
+  server.stop();
+}
+
 TEST(ServeServer, ShutdownRequestStopsWait) {
   Server server(test_options());
   server.start();
