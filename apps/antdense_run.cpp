@@ -11,9 +11,11 @@
 //   --quiet       suppress the human-readable report
 //   --list-topologies   registered families + canonical spec grammar
 //   --list-workloads    workload names + what each measures
+//   --list-dynamics     dynamics models + canonical spec grammar
 //   --help
 // The list flags exist for sweep authors: campaign axes (antdense_sweep)
-// take exactly these topology spec strings and workload names.
+// take exactly these topology spec strings, workload names, and
+// dynamics spec strings.
 // Unknown flags are an error (util::Args strict mode), so typos fail
 // loudly instead of silently running the default scenario.
 #include <exception>
@@ -25,6 +27,7 @@
 
 #include "obs/export.hpp"
 #include "obs/telemetry.hpp"
+#include "scenario/dynamics_registry.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/spec.hpp"
@@ -48,7 +51,10 @@ void print_usage(std::ostream& os) {
   }
   os << "\n\nscenario flags:\n"
      << "  --agents=N --rounds=T (0 plans via Theorem 1) --eps=E --delta=D\n"
-     << "  --lazy=P --miss=P --spurious=P   (Section 6.1 perturbations)\n"
+     << "  --lazy=P --miss=P --spurious=P --dropout=P\n"
+     << "                    (Section 6.1 sensing perturbations)\n"
+     << "  --dynamics=MODEL:PARAMS  time-varying world (--list-dynamics;\n"
+     << "                    density workload, engine single/sharded)\n"
      << "  --trials=K --threads=N --seed=S\n"
      << "  --engine=single|sharded|vector\n"
      << "                    (sharded: threads parallelize within one walk;\n"
@@ -64,6 +70,7 @@ void print_usage(std::ostream& os) {
      << "                    (open in chrome://tracing or Perfetto)\n"
      << "  --quiet           suppress the human-readable report\n"
      << "  --list-topologies (families + spec grammar)\n"
+     << "  --list-dynamics   (models + spec grammar)\n"
      << "  --list-workloads / --help\n";
 }
 
@@ -120,6 +127,19 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (args.get_bool("list-dynamics", false)) {
+      const scenario::DynamicsRegistry& reg =
+          scenario::DynamicsRegistry::built_in();
+      for (const std::string& name : reg.family_names()) {
+        const std::string& grammar = reg.grammar(name);
+        std::cout << name;
+        if (!grammar.empty()) {
+          std::cout << "\t" << grammar;
+        }
+        std::cout << "\n";
+      }
+      return 0;
+    }
     if (args.get_bool("list-workloads", false)) {
       const std::vector<std::string>& names = scenario::workload_names();
       const std::vector<std::string>& what =
@@ -133,7 +153,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> known = scenario::ScenarioSpec::key_names();
     known.insert(known.end(), {"spec", "out", "metrics-out", "trace-out",
                                "quiet", "help", "list-topologies",
-                               "list-workloads"});
+                               "list-workloads", "list-dynamics"});
     args.require_known(known);
 
     scenario::ScenarioSpec spec;

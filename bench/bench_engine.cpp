@@ -57,6 +57,7 @@
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sim/density_sim.hpp"
+#include "sim/dynamic_world.hpp"
 #include "sim/legacy_reference.hpp"
 #include "sim/vector_walk.hpp"
 #include "util/table.hpp"
@@ -74,6 +75,7 @@ struct Cell {
   double obs_ns = 0.0;  // engine with metrics + tracing ambient installed
   double vector_ns = 0.0;  // engine=vector (sim/vector_walk.hpp)
   double any_ns = 0.0;  // engine driven through graph::AnyTopology
+  double dyn_ns = 0.0;  // AnyTopology engine + attached zero-rate dynamics
   std::uint64_t peak_rss = 0;  // process high-water RSS after this cell
 };
 
@@ -145,6 +147,24 @@ Cell measure_cell(const T& topo, std::uint32_t agents, std::uint64_t budget,
                           .collision_counts[0];
       },
       agents, cfg.rounds, reps);
+#if ANTDENSE_DYNAMICS
+  // The dynamics layer's overhead row: the same AnyTopology walk with a
+  // zero-rate churn model attached — the mutation phase fires every
+  // round but mutates nothing, an upper bound on what the layer costs a
+  // scenario that never asked for dynamics (whose cfg.dynamics is null
+  // and which skips even this).  CI gates dyn/any <= 1.02x on the
+  // ring/torus2d cells.
+  sim::ChurnDynamics idle_dyn(any, 0.0, 0.0, 10, 0);
+  cell.dyn_ns = time_path(
+      [&](std::uint64_t rep) {
+        const std::vector<double> est =
+            sim::run_dynamic_density_walk(any, cfg, idle_dyn, 0xBE7C + rep);
+        sink = sink + static_cast<std::uint64_t>(est[0] * 1e9);
+      },
+      agents, cfg.rounds, reps);
+#else
+  cell.dyn_ns = cell.any_ns;  // layer compiled out: overhead is zero
+#endif
   cell.peak_rss = bench::peak_rss_bytes();
   return cell;
 }
@@ -167,7 +187,8 @@ int main(int argc, char** argv) {
       "unified WalkEngine vs the frozen legacy round loop vs AnyTopology",
       "engine ns/agent-round <= legacy at 10k agents on torus2d; "
       "anytopology within 10% of engine there; dormant telemetry keeps "
-      "engine within 1.05x of legacy on ring/torus2d; "
+      "engine within 1.05x of legacy on ring/torus2d; the dynamics-"
+      "capable engine keeps engine within 1.02x of legacy there too; "
       "BENCH_engine.json parses");
 
   const std::vector<std::uint32_t> agent_counts =
@@ -222,8 +243,9 @@ int main(int argc, char** argv) {
 
   util::Table table({"topology", "agents", "rounds", "legacy ns/step",
                      "engine ns/step", "obs ns/step", "vector ns/step",
-                     "any ns/step", "obs ratio", "vector ratio",
-                     "erasure overhead", "peak rss MiB"});
+                     "any ns/step", "dyn ns/step", "obs ratio",
+                     "vector ratio", "erasure overhead", "dyn overhead",
+                     "peak rss MiB"});
   std::vector<bench::BenchRecord> records;
   for (const Cell& c : cells) {
     table.add_row({c.topology, util::format_count(c.agents),
@@ -233,9 +255,11 @@ int main(int argc, char** argv) {
                    util::format_fixed(c.obs_ns, 2),
                    util::format_fixed(c.vector_ns, 2),
                    util::format_fixed(c.any_ns, 2),
+                   util::format_fixed(c.dyn_ns, 2),
                    util::format_fixed(c.obs_ns / c.engine_ns, 3),
                    util::format_fixed(c.vector_ns / c.engine_ns, 3),
                    util::format_fixed(c.any_ns / c.engine_ns, 3),
+                   util::format_fixed(c.dyn_ns / c.any_ns, 3),
                    util::format_fixed(
                        static_cast<double>(c.peak_rss) / (1024.0 * 1024.0),
                        1)});
@@ -261,6 +285,9 @@ int main(int argc, char** argv) {
     records.push_back(base);
     base.name = "anytopology";
     base.ns_per_agent_round = c.any_ns;
+    records.push_back(base);
+    base.name = "any+dyn0";
+    base.ns_per_agent_round = c.dyn_ns;
     records.push_back(base);
   }
   table.print_markdown(std::cout);

@@ -37,8 +37,8 @@ std::string key_path(const std::string& key) {
   }
   for (const char* spec_key :
        {"topology", "workload", "agents", "trials", "eps", "delta", "lazy",
-        "miss", "spurious", "seed", "property-fraction", "tracked",
-        "checkpoints", "radius"}) {
+        "miss", "spurious", "dropout", "dynamics", "seed",
+        "property-fraction", "tracked", "checkpoints", "radius"}) {
     if (key == spec_key) {
       return "spec." + key;
     }

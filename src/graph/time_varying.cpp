@@ -1,0 +1,96 @@
+#include "graph/time_varying.hpp"
+
+#include "rng/random.hpp"
+#include "util/check.hpp"
+
+namespace antdense::graph {
+
+TimeVaryingWorld::TimeVaryingWorld(const AnyTopology& topo) : topo_(&topo) {}
+
+bool TimeVaryingWorld::fail_node(node_type u) {
+  const std::uint64_t key = topo_->key(u);
+  if (node_failed(key)) {
+    return false;
+  }
+  failed_index_.emplace(key, failed_.size());
+  failed_.push_back(key);
+  return true;
+}
+
+bool TimeVaryingWorld::drop_edge(node_type u, node_type v) {
+  ANTDENSE_CHECK(u != v, "an edge needs two distinct endpoints");
+  const EdgeKey key = canonical_edge(topo_->key(u), topo_->key(v));
+  if (down_index_.find(key) != down_index_.end()) {
+    return false;
+  }
+  down_index_.emplace(key, down_.size());
+  down_.push_back(key);
+  return true;
+}
+
+void TimeVaryingWorld::recover(double recover_probability,
+                               rng::Xoshiro256pp& gen) {
+  ANTDENSE_CHECK(recover_probability >= 0.0 && recover_probability <= 1.0,
+                 "recovery probability must be in [0,1]");
+  if (recover_probability == 0.0) {
+    return;
+  }
+  // One Bernoulli per element in insertion order, then swap-and-pop the
+  // recovered indices from the back so earlier removals never move an
+  // element that is still pending a decision.
+  std::vector<std::size_t> recovered;
+  for (std::size_t i = 0; i < failed_.size(); ++i) {
+    if (rng::bernoulli(gen, recover_probability)) {
+      recovered.push_back(i);
+    }
+  }
+  for (std::size_t r = recovered.size(); r-- > 0;) {
+    const std::size_t i = recovered[r];
+    failed_index_.erase(failed_[i]);
+    if (i + 1 != failed_.size()) {
+      failed_[i] = failed_.back();
+      failed_index_[failed_[i]] = i;
+    }
+    failed_.pop_back();
+  }
+  recovered.clear();
+  for (std::size_t i = 0; i < down_.size(); ++i) {
+    if (rng::bernoulli(gen, recover_probability)) {
+      recovered.push_back(i);
+    }
+  }
+  for (std::size_t r = recovered.size(); r-- > 0;) {
+    const std::size_t i = recovered[r];
+    down_index_.erase(down_[i]);
+    if (i + 1 != down_.size()) {
+      down_[i] = down_.back();
+      down_index_[down_[i]] = i;
+    }
+    down_.pop_back();
+  }
+}
+
+TimeVaryingWorld::node_type TimeVaryingWorld::deflect(
+    node_type from, std::vector<node_type>& scratch) const {
+  const std::uint64_t from_key = topo_->key(from);
+  scratch.clear();
+  topo_->append_neighbors(from, scratch);
+  node_type best = from;
+  std::uint64_t best_key = 0;
+  bool found = false;
+  for (const node_type w : scratch) {
+    const std::uint64_t w_key = topo_->key(w);
+    if (w_key == from_key || node_failed(w_key) ||
+        edge_down(from_key, w_key)) {
+      continue;
+    }
+    if (!found || w_key < best_key) {
+      best = w;
+      best_key = w_key;
+      found = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace antdense::graph

@@ -1,0 +1,102 @@
+// A time-varying overlay on a static graph::AnyTopology: a set of
+// currently-failed nodes and currently-down edges, mutated between
+// walk rounds by the dynamics layer (sim/dynamic_world.hpp) and
+// consulted when walkers move.
+//
+// The base topology is never modified — failure state is a sparse
+// difference on top of it, so implicit billion-node generators stay
+// O(state) in memory.  Node identity is the topology's stable `key`
+// space (handles may be packed encodings), while sampling and neighbor
+// enumeration work on handles.
+//
+// Determinism: the overlay's containers are a vector (iteration order =
+// insertion order, removals by swap-and-pop) plus a hash index for O(1)
+// membership.  Iteration order therefore depends only on the sequence
+// of mutations, never on hash-table internals, so recovery sweeps that
+// draw one Bernoulli per element consume the mutation stream in a
+// platform-stable order.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/any_topology.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace antdense::graph {
+
+class TimeVaryingWorld {
+ public:
+  using node_type = AnyTopology::node_type;
+  /// Canonical undirected edge identity: (min key, max key).
+  using EdgeKey = std::pair<std::uint64_t, std::uint64_t>;
+
+  explicit TimeVaryingWorld(const AnyTopology& topo);
+
+  const AnyTopology& base() const { return *topo_; }
+  std::size_t num_failed_nodes() const { return failed_.size(); }
+  std::size_t num_down_edges() const { return down_.size(); }
+
+  bool node_failed(std::uint64_t key) const {
+    return failed_index_.find(key) != failed_index_.end();
+  }
+  bool edge_down(std::uint64_t key_a, std::uint64_t key_b) const {
+    return !down_.empty() &&
+           down_index_.find(canonical_edge(key_a, key_b)) !=
+               down_index_.end();
+  }
+  /// Whether a walker standing on the node keyed `from_key` may move to
+  /// the node keyed `to_key`: the destination is up and the edge is not
+  /// down.  (Staying put is always allowed.)
+  bool move_allowed(std::uint64_t from_key, std::uint64_t to_key) const {
+    if (from_key == to_key) {
+      return true;
+    }
+    return !node_failed(to_key) && !edge_down(from_key, to_key);
+  }
+
+  /// Marks the node behind handle `u` failed; returns false when it
+  /// already was.
+  bool fail_node(node_type u);
+  /// Takes the undirected edge {u, v} down; returns false when it
+  /// already was.
+  bool drop_edge(node_type u, node_type v);
+
+  /// One recovery sweep: every failed node and down edge independently
+  /// recovers with probability `recover_probability` (one Bernoulli per
+  /// element from `gen`, in insertion order).
+  void recover(double recover_probability, rng::Xoshiro256pp& gen);
+
+  /// The deterministic deflection target for a walker at handle `from`:
+  /// the admissible neighbor (destination up, edge up) with the
+  /// smallest key, or `from` itself when every neighbor is blocked.
+  /// `scratch` avoids per-call allocation; const and race-free, so the
+  /// sharded engine may call it concurrently.
+  node_type deflect(node_type from, std::vector<node_type>& scratch) const;
+
+ private:
+  static EdgeKey canonical_edge(std::uint64_t a, std::uint64_t b) {
+    return a < b ? EdgeKey{a, b} : EdgeKey{b, a};
+  }
+
+  struct EdgeKeyHash {
+    std::size_t operator()(const EdgeKey& e) const {
+      // SplitMix64-style avalanche over both endpoint keys.
+      std::uint64_t h = e.first * 0x9E3779B97F4A7C15ULL;
+      h ^= h >> 30;
+      h = (h + e.second) * 0xBF58476D1CE4E5B9ULL;
+      h ^= h >> 31;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  const AnyTopology* topo_;
+  std::vector<std::uint64_t> failed_;  // node keys, insertion order
+  std::unordered_map<std::uint64_t, std::size_t> failed_index_;
+  std::vector<EdgeKey> down_;  // down edges, insertion order
+  std::unordered_map<EdgeKey, std::size_t, EdgeKeyHash> down_index_;
+};
+
+}  // namespace antdense::graph

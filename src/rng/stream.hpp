@@ -42,4 +42,21 @@ constexpr std::uint64_t derive_stream(std::uint64_t root,
   return derive_seed(root, kShardStreamTag, shard);
 }
 
+/// Domain-separation tag for the dynamics mutation stream ("DYNMUTAT"
+/// in ASCII).  World mutation (edge churn, node failure, agent
+/// birth/death, sensing drift — sim/dynamics.hpp) draws from a stream
+/// derived with this tag, never from the walk stream itself, so a
+/// scenario with dynamics disabled consumes exactly the historical walk
+/// stream and stays bit-identical to its static goldens.
+inline constexpr std::uint64_t kMutationStreamTag = 0x44594E4D55544154ULL;
+
+/// Seed for the serial mutation-phase generator of a walk whose engine
+/// stream is rooted at `root`, for the dynamics model seeded with
+/// `model_seed`.  Deterministic, platform-stable, and independent of
+/// every walk/shard/trial stream derived from the same root.
+constexpr std::uint64_t derive_mutation_stream(std::uint64_t root,
+                                               std::uint64_t model_seed) {
+  return derive_seed(root, kMutationStreamTag, model_seed);
+}
+
 }  // namespace antdense::rng

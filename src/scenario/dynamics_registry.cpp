@@ -1,0 +1,382 @@
+#include "scenario/dynamics_registry.hpp"
+
+#include <charconv>
+#include <limits>
+#include <utility>
+
+#include "sim/dynamic_world.hpp"
+#include "util/check.hpp"
+#include "util/format.hpp"
+
+namespace antdense::scenario {
+
+namespace {
+
+// Diagnostics contract, matching the topology registry (see
+// tests/test_dynamics.cpp): every parse error names the model AND the
+// offending key=value, so a failed sweep axis is attributable from the
+// message alone.
+
+[[noreturn]] void throw_param_error(const std::string& model,
+                                    const std::string& detail) {
+  throw std::invalid_argument("dynamics spec '" + model + "': " + detail);
+}
+
+/// Strict uint parse: the whole token must be digits so "1e4" or
+/// trailing garbage fail loudly.
+std::uint64_t parse_u64(const std::string& model, const std::string& key,
+                        const std::string& token) {
+  std::uint64_t value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (token.empty() || ec != std::errc{} || ptr != end) {
+    throw_param_error(model, "parameter '" + key + "=" + token +
+                                 "': expected an unsigned integer");
+  }
+  return value;
+}
+
+/// Strict double parse for the probability parameters.
+double parse_f64(const std::string& model, const std::string& key,
+                 const std::string& token) {
+  double value = 0.0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (token.empty() || ec != std::errc{} || ptr != end) {
+    throw_param_error(model, "parameter '" + key + "=" + token +
+                                 "': expected a real number");
+  }
+  return value;
+}
+
+/// One typed field of a "k=v,k=v" parameter list.
+struct KvField {
+  enum class Kind { kU64, kF64 };
+  std::string key;
+  Kind kind = Kind::kU64;
+  bool required = false;
+  std::uint64_t u64_default = 0;
+  double f64_default = 0.0;
+};
+
+struct KvValues {
+  std::vector<std::uint64_t> u64s;  // indexed like the field schema
+  std::vector<double> f64s;
+};
+
+/// Parses "k=v,k=v" against a typed schema (later duplicates win).
+/// Every diagnostic carries the model and the offending key=value.
+KvValues parse_kv(const std::string& model, const std::string& params,
+                  const std::vector<KvField>& fields) {
+  KvValues values;
+  values.u64s.resize(fields.size());
+  values.f64s.resize(fields.size());
+  std::vector<bool> seen(fields.size(), false);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    values.u64s[i] = fields[i].u64_default;
+    values.f64s[i] = fields[i].f64_default;
+  }
+  std::size_t start = 0;
+  while (start <= params.size()) {
+    const std::size_t comma = params.find(',', start);
+    const std::string item =
+        params.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw_param_error(model, "expected key=value, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string token = item.substr(eq + 1);
+    bool matched = false;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (fields[i].key == key) {
+        if (fields[i].kind == KvField::Kind::kU64) {
+          values.u64s[i] = parse_u64(model, key, token);
+        } else {
+          values.f64s[i] = parse_f64(model, key, token);
+        }
+        seen[i] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      std::string known;
+      for (const auto& f : fields) {
+        known += (known.empty() ? "" : ", ") + f.key;
+      }
+      throw_param_error(model, "unknown parameter '" + key + "=" + token +
+                                   "' (expected: " + known + ")");
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].required && !seen[i]) {
+      throw_param_error(model, "missing required parameter '" +
+                                   fields[i].key + "'");
+    }
+  }
+  return values;
+}
+
+/// Range guard whose message carries model, key, and value.
+void check_range(bool ok, const std::string& model, const std::string& key,
+                 const std::string& value, const std::string& expectation) {
+  if (!ok) {
+    throw_param_error(model, "parameter '" + key + "=" + value +
+                                 "': " + expectation);
+  }
+}
+
+KvField u64_field(std::string key, bool required,
+                  std::uint64_t fallback = 0) {
+  return {.key = std::move(key), .kind = KvField::Kind::kU64,
+          .required = required, .u64_default = fallback};
+}
+
+KvField f64_field(std::string key, bool required, double fallback = 0.0) {
+  return {.key = std::move(key), .kind = KvField::Kind::kF64,
+          .required = required, .f64_default = fallback};
+}
+
+#if ANTDENSE_DYNAMICS
+
+/// churn grammar.  mean_down defaults to 10 rounds; the canonical
+/// spelling makes both optional parameters explicit so parameter order
+/// and omitted defaults never split the identity hash.
+const std::vector<KvField>& churn_fields() {
+  static const std::vector<KvField> fields = {
+      f64_field("p_edge", /*required=*/true),
+      f64_field("p_fail", /*required=*/true),
+      u64_field("mean_down", /*required=*/false, 10),
+      u64_field("seed", /*required=*/false, 0)};
+  return fields;
+}
+
+struct ChurnParams {
+  double p_edge = 0.0;
+  double p_fail = 0.0;
+  std::uint32_t mean_down = 10;
+  std::uint64_t seed = 0;
+};
+
+ChurnParams parse_churn(const std::string& params) {
+  const KvValues v = parse_kv("churn", params, churn_fields());
+  ChurnParams out;
+  out.p_edge = v.f64s[0];
+  out.p_fail = v.f64s[1];
+  check_range(out.p_edge >= 0.0 && out.p_edge <= 1.0, "churn", "p_edge",
+              util::format_shortest(out.p_edge), "must be in [0,1]");
+  check_range(out.p_fail >= 0.0 && out.p_fail <= 1.0, "churn", "p_fail",
+              util::format_shortest(out.p_fail), "must be in [0,1]");
+  check_range(v.u64s[2] >= 1 &&
+                  v.u64s[2] <= std::numeric_limits<std::uint32_t>::max(),
+              "churn", "mean_down", std::to_string(v.u64s[2]),
+              "must be in [1, 2^32)");
+  out.mean_down = static_cast<std::uint32_t>(v.u64s[2]);
+  out.seed = v.u64s[3];
+  return out;
+}
+
+const std::vector<KvField>& drift_fields() {
+  static const std::vector<KvField> fields = {
+      f64_field("p_death", /*required=*/true),
+      f64_field("p_birth", /*required=*/true),
+      u64_field("seed", /*required=*/false, 0)};
+  return fields;
+}
+
+struct DriftParams {
+  double p_death = 0.0;
+  double p_birth = 0.0;
+  std::uint64_t seed = 0;
+};
+
+DriftParams parse_drift(const std::string& params) {
+  const KvValues v = parse_kv("drift", params, drift_fields());
+  DriftParams out{.p_death = v.f64s[0], .p_birth = v.f64s[1],
+                  .seed = v.u64s[2]};
+  check_range(out.p_death >= 0.0 && out.p_death <= 1.0, "drift", "p_death",
+              util::format_shortest(out.p_death), "must be in [0,1]");
+  check_range(out.p_birth >= 0.0 && out.p_birth <= 1.0, "drift", "p_birth",
+              util::format_shortest(out.p_birth), "must be in [0,1]");
+  return out;
+}
+
+const std::vector<KvField>& fade_fields() {
+  static const std::vector<KvField> fields = {
+      f64_field("p0", /*required=*/true),
+      f64_field("step", /*required=*/true),
+      u64_field("seed", /*required=*/false, 0)};
+  return fields;
+}
+
+struct FadeParams {
+  double p0 = 0.0;
+  double step = 0.0;
+  std::uint64_t seed = 0;
+};
+
+FadeParams parse_fade(const std::string& params) {
+  const KvValues v = parse_kv("fade", params, fade_fields());
+  FadeParams out{.p0 = v.f64s[0], .step = v.f64s[1], .seed = v.u64s[2]};
+  check_range(out.p0 >= 0.0 && out.p0 <= 1.0, "fade", "p0",
+              util::format_shortest(out.p0), "must be in [0,1]");
+  check_range(out.step >= 0.0 && out.step <= 1.0, "fade", "step",
+              util::format_shortest(out.step), "must be in [0,1]");
+  return out;
+}
+
+#endif  // ANTDENSE_DYNAMICS
+
+DynamicsRegistry make_built_in() {
+  DynamicsRegistry reg;
+
+#if ANTDENSE_DYNAMICS
+  reg.register_family(
+      "churn",
+      {.make =
+           [](const std::string& params, const graph::AnyTopology& topo,
+              std::uint32_t /*agents*/)
+               -> std::unique_ptr<sim::WorldDynamics> {
+             const ChurnParams p = parse_churn(params);
+             return std::make_unique<sim::ChurnDynamics>(
+                 topo, p.p_edge, p.p_fail, p.mean_down, p.seed);
+           },
+       .canonical =
+           [](const std::string& params) {
+             const ChurnParams p = parse_churn(params);
+             // Matches ChurnDynamics::name() byte for byte.
+             return "churn:p_edge=" + util::format_shortest(p.p_edge) +
+                    ",p_fail=" + util::format_shortest(p.p_fail) +
+                    ",mean_down=" + std::to_string(p.mean_down) +
+                    ",seed=" + std::to_string(p.seed);
+           },
+       .grammar = "churn:p_edge=P,p_fail=P[,mean_down=R][,seed=S] — edge "
+                  "churn + node failure "
+                  "(e.g. churn:p_edge=0.001,p_fail=0.0005)"});
+
+  reg.register_family(
+      "drift",
+      {.make =
+           [](const std::string& params, const graph::AnyTopology& topo,
+              std::uint32_t agents) -> std::unique_ptr<sim::WorldDynamics> {
+             const DriftParams p = parse_drift(params);
+             return std::make_unique<sim::DriftDynamics>(
+                 topo, agents, p.p_death, p.p_birth, p.seed);
+           },
+       .canonical =
+           [](const std::string& params) {
+             const DriftParams p = parse_drift(params);
+             return "drift:p_death=" + util::format_shortest(p.p_death) +
+                    ",p_birth=" + util::format_shortest(p.p_birth) +
+                    ",seed=" + std::to_string(p.seed);
+           },
+       .grammar = "drift:p_death=P,p_birth=P[,seed=S] — agent birth/death "
+                  "under population drift "
+                  "(e.g. drift:p_death=0.01,p_birth=0.01)"});
+
+  reg.register_family(
+      "fade",
+      {.make =
+           [](const std::string& params, const graph::AnyTopology& /*topo*/,
+              std::uint32_t agents) -> std::unique_ptr<sim::WorldDynamics> {
+             const FadeParams p = parse_fade(params);
+             return std::make_unique<sim::FadeDynamics>(agents, p.p0, p.step,
+                                                        p.seed);
+           },
+       .canonical =
+           [](const std::string& params) {
+             const FadeParams p = parse_fade(params);
+             return "fade:p0=" + util::format_shortest(p.p0) +
+                    ",step=" + util::format_shortest(p.step) +
+                    ",seed=" + std::to_string(p.seed);
+           },
+       .grammar = "fade:p0=P,step=P[,seed=S] — per-agent time-varying "
+                  "detection-miss probability "
+                  "(e.g. fade:p0=0.1,step=0.02)"});
+#endif  // ANTDENSE_DYNAMICS
+
+  return reg;
+}
+
+}  // namespace
+
+const DynamicsRegistry& DynamicsRegistry::built_in() {
+  static const DynamicsRegistry reg = make_built_in();
+  return reg;
+}
+
+void DynamicsRegistry::register_family(const std::string& name,
+                                       Family family) {
+  ANTDENSE_CHECK(!name.empty() && name.find(':') == std::string::npos,
+                 "model name must be non-empty and colon-free");
+  ANTDENSE_CHECK(family.make != nullptr && family.canonical != nullptr,
+                 "model family needs both make and canonical");
+  families_[name] = std::move(family);
+}
+
+bool DynamicsRegistry::has_family(const std::string& name) const {
+  return families_.count(name) > 0;
+}
+
+const std::string& DynamicsRegistry::grammar(const std::string& name) const {
+  const auto it = families_.find(name);
+  ANTDENSE_CHECK(it != families_.end(),
+                 "unknown dynamics model '" + name + "'");
+  return it->second.grammar;
+}
+
+std::vector<std::string> DynamicsRegistry::family_names() const {
+  std::vector<std::string> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+const DynamicsRegistry::Family& DynamicsRegistry::family_for(
+    const std::string& spec, std::string* params) const {
+  const std::size_t colon = spec.find(':');
+  ANTDENSE_CHECK(colon != std::string::npos && colon > 0,
+                 "dynamics spec '" + spec +
+                     "' must look like model:params "
+                     "(e.g. churn:p_edge=0.001,p_fail=0.0005)");
+  const std::string model = spec.substr(0, colon);
+  const auto it = families_.find(model);
+  if (it == families_.end()) {
+    std::string known;
+    for (const auto& [name, f] : families_) {
+      known += (known.empty() ? "" : ", ") + name;
+    }
+    throw std::invalid_argument(
+        "unknown dynamics model '" + model + "' (known: " +
+        (known.empty() ? "none — built without ANTDENSE_DYNAMICS" : known) +
+        ")");
+  }
+  *params = spec.substr(colon + 1);
+  return it->second;
+}
+
+std::unique_ptr<sim::WorldDynamics> DynamicsRegistry::make(
+    const std::string& spec, const graph::AnyTopology& topo,
+    std::uint32_t agents) const {
+  std::string params;
+  const Family& family = family_for(spec, &params);
+  return family.make(params, topo, agents);
+}
+
+std::string DynamicsRegistry::canonical(const std::string& spec) const {
+  std::string params;
+  const Family& family = family_for(spec, &params);
+  return family.canonical(params);
+}
+
+}  // namespace antdense::scenario

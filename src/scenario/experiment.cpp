@@ -10,7 +10,9 @@
 #include "obs/telemetry.hpp"
 #include "rng/splitmix64.hpp"
 #include "scenario/ball_density.hpp"
+#include "scenario/dynamics_registry.hpp"
 #include "sim/density_sim.hpp"
+#include "sim/dynamic_world.hpp"
 #include "sim/sharded_walk.hpp"
 #include "sim/trial_runner.hpp"
 #include "sim/vector_walk.hpp"
@@ -102,8 +104,9 @@ sim::DensityConfig density_config(const ScenarioSpec& spec) {
   cfg.num_agents = spec.agents;
   cfg.rounds = spec.rounds;
   cfg.lazy_probability = spec.lazy_probability;
-  cfg.detection_miss_probability = spec.detection_miss_probability;
-  cfg.spurious_collision_probability = spec.spurious_collision_probability;
+  cfg.detection_miss_probability = spec.sensing.detection_miss;
+  cfg.spurious_collision_probability = spec.sensing.spurious;
+  cfg.observation_dropout_probability = spec.sensing.dropout;
   return cfg;
 }
 
@@ -163,11 +166,18 @@ Experiment::Experiment(ScenarioSpec spec, const Registry& registry)
     : spec_(std::move(spec)), topo_(registry.make(spec_.topology)) {
   spec_.validate();
   spec_.topology = registry.canonical(spec_.topology);
+  if (!spec_.dynamics.empty()) {
+    // Canonicalize like the topology so journals and caches key on one
+    // spelling; this is also where an unknown model (or any dynamics
+    // spec on an ANTDENSE_DYNAMICS=OFF build) is rejected.
+    spec_.dynamics = DynamicsRegistry::built_in().canonical(spec_.dynamics);
+    ANTDENSE_CHECK(spec_.workload == Workload::kDensity,
+                   "dynamics models apply to the density workload only");
+  }
   ANTDENSE_CHECK(spec_.workload == Workload::kDensity ||
-                     (spec_.detection_miss_probability == 0.0 &&
-                      spec_.spurious_collision_probability == 0.0),
-                 "sensing-noise knobs (miss, spurious) apply to the "
-                 "density workload only");
+                     !spec_.sensing.any(),
+                 "sensing-noise knobs (miss, spurious, dropout) apply to "
+                 "the density workload only");
   ANTDENSE_CHECK(spec_.trials == 1 ||
                      spec_.workload == Workload::kDensity ||
                      spec_.workload == Workload::kProperty,
@@ -203,6 +213,59 @@ ScenarioResult Experiment::run(const ProgressHooks& hooks) const {
 
   switch (spec_.workload) {
     case Workload::kDensity: {
+      // Dynamic worlds run through the dynamics-aware pipeline: the walk
+      // stream is the exact static stream (tag 0x51), the model mutates
+      // between rounds from its own derived stream, and each fan-out
+      // trial builds a fresh model from the canonical spec so trials
+      // stay independent and order-free.  validate() already rejected
+      // engine=vector here.
+      if (!spec_.dynamics.empty()) {
+        const DynamicsRegistry& models = DynamicsRegistry::built_in();
+        if (spec_.trials == 1) {
+          RoundProgressObserver progress(hooks, spec_.rounds);
+          const std::unique_ptr<sim::WorldDynamics> model =
+              models.make(spec_.dynamics, topo_, spec_.agents);
+          if (spec_.engine == EngineMode::kSharded) {
+            result.estimates = sim::run_dynamic_density_walk_sharded(
+                topo_, density_config(spec_), *model, spec_.seed,
+                sim::ShardExec{.threads = spec_.threads}, progress);
+          } else {
+            result.estimates = sim::run_dynamic_density_walk(
+                topo_, density_config(spec_), *model, spec_.seed, progress);
+          }
+        } else {
+          TrialProgress progress(hooks, spec_.trials);
+          const std::function<void(std::size_t)> on_trial_done =
+              progress.callback();
+          std::vector<std::vector<double>> per_trial(spec_.trials);
+          util::parallel_for(
+              spec_.trials,
+              [&](std::size_t trial) {
+                obs::ScopedTelemetry ambient(telemetry);
+                const std::uint64_t trial_seed =
+                    rng::derive_seed(spec_.seed, trial);
+                const std::unique_ptr<sim::WorldDynamics> model =
+                    models.make(spec_.dynamics, topo_, spec_.agents);
+                if (spec_.engine == EngineMode::kSharded) {
+                  per_trial[trial] = sim::run_dynamic_density_walk_sharded(
+                      topo_, density_config(spec_), *model, trial_seed,
+                      sim::ShardExec{.threads = 1});
+                } else {
+                  per_trial[trial] = sim::run_dynamic_density_walk(
+                      topo_, density_config(spec_), *model, trial_seed);
+                }
+                if (on_trial_done) {
+                  on_trial_done(trial);
+                }
+              },
+              spec_.threads);
+          for (const auto& v : per_trial) {
+            result.estimates.insert(result.estimates.end(), v.begin(),
+                                    v.end());
+          }
+        }
+        break;
+      }
       // Single-stream, one trial matches run_density_walk(seed) exactly;
       // fan-outs pool derived per-trial streams through the parallel
       // trial runner.  The sharded engine keeps its own (thread-count-

@@ -6,6 +6,7 @@
 #include <limits>
 #include <sstream>
 
+#include "scenario/dynamics_registry.hpp"
 #include "scenario/registry.hpp"
 #include "util/check.hpp"
 #include "util/hash.hpp"
@@ -104,10 +105,16 @@ void ScenarioSpec::validate() const {
                    "planning rounds needs delta in (0,1)");
   }
   probability("lazy_probability", lazy_probability, true);
-  probability("detection_miss_probability", detection_miss_probability,
-              false);
-  probability("spurious_collision_probability",
-              spurious_collision_probability, false);
+  probability("sensing.miss", sensing.detection_miss, false);
+  probability("sensing.spurious", sensing.spurious, false);
+  probability("sensing.dropout", sensing.dropout, false);
+  // Fail fast at spec-validation time (the campaign planner and the
+  // serve daemon validate every spec before running): the wide-lane
+  // engine has no mutation phase.
+  ANTDENSE_CHECK(dynamics.empty() || engine != EngineMode::kVector,
+                 "engine=vector does not support dynamic scenarios "
+                 "(dynamics='" + dynamics +
+                     "'); use engine=single or engine=sharded");
   ANTDENSE_CHECK(trials >= 1, "need at least one trial");
   // Specs round-trip through JSON, whose numbers are doubles: a seed at
   // or above 2^53 would be silently rounded in the emitted artifact and
@@ -139,9 +146,9 @@ std::vector<std::uint32_t> ScenarioSpec::checkpoint_rounds(
 std::vector<std::string> ScenarioSpec::key_names() {
   return {"topology", "workload", "agents",   "rounds",
           "eps",      "delta",    "lazy",     "miss",
-          "spurious", "trials",   "threads",  "seed",
-          "engine",   "property-fraction",    "tracked",
-          "checkpoints",          "radius"};
+          "spurious", "dropout",  "dynamics", "trials",
+          "threads",  "seed",     "engine",   "property-fraction",
+          "tracked",  "checkpoints",          "radius"};
 }
 
 ScenarioSpec ScenarioSpec::from_args(const util::Args& args,
@@ -156,10 +163,11 @@ ScenarioSpec ScenarioSpec::from_args(const util::Args& args,
   s.eps = args.get_double("eps", s.eps);
   s.delta = args.get_double("delta", s.delta);
   s.lazy_probability = args.get_double("lazy", s.lazy_probability);
-  s.detection_miss_probability =
-      args.get_double("miss", s.detection_miss_probability);
-  s.spurious_collision_probability =
-      args.get_double("spurious", s.spurious_collision_probability);
+  s.sensing.detection_miss =
+      args.get_double("miss", s.sensing.detection_miss);
+  s.sensing.spurious = args.get_double("spurious", s.sensing.spurious);
+  s.sensing.dropout = args.get_double("dropout", s.sensing.dropout);
+  s.dynamics = args.get_string("dynamics", s.dynamics);
   s.trials = narrow_u32(args.get_uint("trials", s.trials), "trials");
   s.threads = narrow_u32(args.get_uint("threads", s.threads), "threads");
   s.seed = args.get_uint("seed", s.seed);
@@ -175,10 +183,45 @@ ScenarioSpec ScenarioSpec::from_args(const util::Args& args,
   return s;
 }
 
+namespace {
+
+/// Parses the versioned "sensing" sub-object (the structured spelling;
+/// see SensingSpec).  Strict like the top level: unknown keys and
+/// unsupported versions throw.
+SensingSpec parse_sensing_object(const util::JsonValue& obj,
+                                 SensingSpec base) {
+  SensingSpec out = base;
+  for (const auto& [key, value] : obj.entries()) {
+    if (key == "version") {
+      ANTDENSE_CHECK(value.as_uint() == SensingSpec::kVersion,
+                     "unsupported sensing object version " +
+                         std::to_string(value.as_uint()) +
+                         " (this build understands version " +
+                         std::to_string(SensingSpec::kVersion) + ")");
+    } else if (key == "miss") {
+      out.detection_miss = value.as_double();
+    } else if (key == "spurious") {
+      out.spurious = value.as_double();
+    } else if (key == "dropout") {
+      out.dropout = value.as_double();
+    } else {
+      throw std::invalid_argument(
+          "unknown sensing spec key '" + key +
+          "' (expected version, miss, spurious, or dropout)");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 ScenarioSpec ScenarioSpec::from_json(const util::JsonValue& doc,
                                      ScenarioSpec base) {
   ScenarioSpec s = std::move(base);
-  const std::vector<std::string> known = key_names();
+  // JSON additionally accepts the structured "sensing" object, which
+  // has no flag spelling (flags use the flat aliases).
+  std::vector<std::string> known = key_names();
+  known.push_back("sensing");
   for (const auto& [key, value] : doc.entries()) {
     ANTDENSE_CHECK(std::find(known.begin(), known.end(), key) != known.end(),
                    "unknown scenario spec key '" + key + "'");
@@ -197,9 +240,16 @@ ScenarioSpec ScenarioSpec::from_json(const util::JsonValue& doc,
     } else if (key == "lazy") {
       s.lazy_probability = value.as_double();
     } else if (key == "miss") {
-      s.detection_miss_probability = value.as_double();
+      s.sensing.detection_miss = value.as_double();
     } else if (key == "spurious") {
-      s.spurious_collision_probability = value.as_double();
+      s.sensing.spurious = value.as_double();
+    } else if (key == "dropout") {
+      s.sensing.dropout = value.as_double();
+    } else if (key == "sensing") {
+      // Later keys win in document order, matching flat-key overlays.
+      s.sensing = parse_sensing_object(value, s.sensing);
+    } else if (key == "dynamics") {
+      s.dynamics = value.as_string();
     } else if (key == "trials") {
       s.trials = narrow_u32(value.as_uint(), "trials");
     } else if (key == "threads") {
@@ -253,8 +303,21 @@ util::JsonValue ScenarioSpec::to_json() const {
   doc.set("eps", eps);
   doc.set("delta", delta);
   doc.set("lazy", lazy_probability);
-  doc.set("miss", detection_miss_probability);
-  doc.set("spurious", spurious_collision_probability);
+  if (sensing.dropout == 0.0) {
+    // The historical flat spelling: dropout-free specs serialize byte
+    // for byte as before this field family existed, keeping every
+    // pinned identity_hash and cached artifact valid.
+    doc.set("miss", sensing.detection_miss);
+    doc.set("spurious", sensing.spurious);
+  } else {
+    util::JsonValue s = util::JsonValue::object();
+    s.set("version",
+          static_cast<std::uint64_t>(SensingSpec::kVersion));
+    s.set("miss", sensing.detection_miss);
+    s.set("spurious", sensing.spurious);
+    s.set("dropout", sensing.dropout);
+    doc.set("sensing", s);
+  }
   doc.set("trials", trials);
   doc.set("threads", static_cast<std::uint64_t>(threads));
   doc.set("seed", seed);
@@ -263,12 +326,18 @@ util::JsonValue ScenarioSpec::to_json() const {
   doc.set("tracked", tracked);
   doc.set("checkpoints", checkpoints);
   doc.set("radius", radius);
+  if (!dynamics.empty()) {
+    doc.set("dynamics", dynamics);
+  }
   return doc;
 }
 
 util::JsonValue ScenarioSpec::identity_json(const Registry& registry) const {
   util::JsonValue doc = to_json();
   doc.set("topology", registry.canonical(topology));
+  if (!dynamics.empty()) {
+    doc.set("dynamics", DynamicsRegistry::built_in().canonical(dynamics));
+  }
   util::JsonValue identity = util::JsonValue::object();
   // Rebuild without "threads": worker count changes how fast an
   // experiment runs, never what it computes, so it must not split the

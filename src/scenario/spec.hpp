@@ -53,6 +53,28 @@ std::string engine_mode_name(EngineMode mode);
 /// otherwise.
 EngineMode parse_engine_mode(const std::string& name);
 
+/// The structured spelling of the Section 6.1 sensing perturbations
+/// (plus the dropout generalization) — one sub-object instead of loose
+/// top-level knobs.  JSON accepts both forms: the versioned object
+///   "sensing": {"version": 1, "miss": P, "spurious": P, "dropout": P}
+/// and the historical flat keys ("miss", "spurious", and the new
+/// "dropout"), which remain first-class aliases so existing spec files,
+/// campaign axes, and flags keep working.  Emission is
+/// identity-stable: to_json() spells a dropout-free spec with the
+/// historical flat keys byte for byte, and switches to the versioned
+/// object only when dropout is set (a shape that predates no artifact).
+struct SensingSpec {
+  static constexpr std::uint32_t kVersion = 1;
+
+  double detection_miss = 0.0;  // each partner goes undetected w.p. p
+  double spurious = 0.0;        // phantom collision recorded w.p. p
+  double dropout = 0.0;         // whole observation lost w.p. p
+
+  bool any() const {
+    return detection_miss > 0.0 || spurious > 0.0 || dropout > 0.0;
+  }
+};
+
 std::string workload_name(Workload w);
 /// All four workload names in enum order, for discovery flags
 /// (antdense_run --list-workloads) and campaign axis validation.
@@ -77,10 +99,16 @@ struct ScenarioSpec {
   double eps = 0.2;
   double delta = 0.1;
 
-  // --- Section 6.1 perturbations (all off by default) ---------------
+  // --- perturbations (all off by default) ---------------------------
+  /// Movement knob (Section 6.1): the agent stays put w.p. p per round.
   double lazy_probability = 0.0;
-  double detection_miss_probability = 0.0;
-  double spurious_collision_probability = 0.0;
+  /// Observation knobs, grouped (see SensingSpec for the JSON forms).
+  SensingSpec sensing;
+  /// World-dynamics model spec ("model:k=v,..." parsed by
+  /// scenario::DynamicsRegistry — churn / drift / fade), or "" for the
+  /// historical static world.  Identity-bearing when present; density
+  /// workload, single/sharded engines only.
+  std::string dynamics;
 
   // --- execution -----------------------------------------------------
   /// Monte Carlo repeats, pooled.  Density / property only; trajectory
@@ -128,11 +156,17 @@ struct ScenarioSpec {
   util::JsonValue to_json() const;
 
   /// The spec's *experiment identity*: to_json() with the topology
-  /// canonicalized through `registry` and the `threads` key dropped —
-  /// two specs that describe the same experiment serialize identically
-  /// here no matter how they were built (flags, JSON in any key order,
-  /// or code) or how many workers will run them.  Emitted-field order is
-  /// fixed by to_json(), so dump(0) is a canonical byte string.
+  /// canonicalized through `registry` (and `dynamics`, when present,
+  /// through DynamicsRegistry::built_in()) and the `threads` key
+  /// dropped — two specs that describe the same experiment serialize
+  /// identically here no matter how they were built (flags, JSON in any
+  /// key order, or code) or how many workers will run them.
+  /// Emitted-field order is fixed by to_json(), so dump(0) is a
+  /// canonical byte string.  Identity rules for the new keys: "dynamics"
+  /// is emitted only when non-empty and "dropout" only inside the
+  /// versioned sensing object, so every pre-dynamics spec keeps its
+  /// historical identity_hash (pinned in tests) and cached campaign /
+  /// serve journals stay warm.
   util::JsonValue identity_json(const Registry& registry) const;
 
   /// 16-hex-char FNV-1a hash of identity_json().dump(0): the campaign

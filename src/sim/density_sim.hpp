@@ -43,6 +43,9 @@ struct DensityConfig {
   double lazy_probability = 0.0;
   double detection_miss_probability = 0.0;
   double spurious_collision_probability = 0.0;
+  /// An agent's whole observation is lost w.p. p per round (the round
+  /// still divides the estimate) — see CollisionObserver::Noise.
+  double observation_dropout_probability = 0.0;
 
   void validate() const {
     ANTDENSE_CHECK(num_agents >= 1, "need at least one agent");
@@ -55,6 +58,9 @@ struct DensityConfig {
     ANTDENSE_CHECK(spurious_collision_probability >= 0.0 &&
                        spurious_collision_probability <= 1.0,
                    "spurious probability must be in [0,1]");
+    ANTDENSE_CHECK(observation_dropout_probability >= 0.0 &&
+                       observation_dropout_probability <= 1.0,
+                   "dropout probability must be in [0,1]");
   }
 
   /// The movement-only slice of this config, for the walk engine.
@@ -107,7 +113,8 @@ DensityResult run_density_walk(
   cfg.validate();
   CollisionObserver observer(
       cfg.num_agents, {.detection_miss = cfg.detection_miss_probability,
-                       .spurious = cfg.spurious_collision_probability});
+                       .spurious = cfg.spurious_collision_probability,
+                       .dropout = cfg.observation_dropout_probability});
   run_walk(topo, cfg.walk_config(), rng::derive_seed(seed, 0x51u),
            initial_positions, observer, extra...);
 

@@ -143,10 +143,37 @@ void run_walk_sharded(const T& topo, const WalkConfig& cfg,
   const bool lazy = cfg.lazy_probability > 0.0;
   const bool concurrent = threads > 1;
 
+#if ANTDENSE_DYNAMICS
+  // Dynamics plumbing (see run_walk): mutation is SERIAL, between
+  // rounds, on its own domain-tagged stream; move rewriting and masked
+  // counting run per shard (const, deterministic, disjoint ranges), so
+  // thread-count invariance holds with dynamics enabled.
+  constexpr bool kDynCapable =
+      std::is_same_v<typename T::node_type, std::uint64_t>;
+  WorldDynamics* dyn = cfg.dynamics;
+  if constexpr (!kDynCapable) {
+    ANTDENSE_CHECK(dyn == nullptr,
+                   "dynamics models require a uint64-node topology "
+                   "(run via graph::AnyTopology)");
+    dyn = nullptr;
+  }
+  const bool rewrites = dyn != nullptr && dyn->rewrites_moves();
+  const std::uint8_t* const count_mask =
+      dyn != nullptr ? dyn->count_mask() : nullptr;
+  rng::Xoshiro256pp mut_gen(
+      dyn != nullptr
+          ? rng::derive_mutation_stream(stream_seed, dyn->model_seed())
+          : 0);
+  std::vector<node> prev(rewrites ? n_agents : 0);
+#else
+  ANTDENSE_CHECK(cfg.dynamics == nullptr,
+                 "this build was configured with ANTDENSE_DYNAMICS=OFF");
+#endif
+
   // Resolved on the caller thread; phase spans wrap the serial seams
   // around the two parallel phases (no new barriers), while striped
   // counter adds inside phase A come from the workers themselves.
-  obs::EngineTap tap("sharded", {"step_count", "observe"});
+  obs::EngineTap tap("sharded", {"step_count", "observe", "mutate"});
 
   std::uint32_t round = 0;
   const auto make_view = [&](std::uint32_t s) {
@@ -167,6 +194,14 @@ void run_walk_sharded(const T& topo, const WalkConfig& cfg,
     const std::uint32_t b = plan.begin(s);
     const std::uint32_t e = plan.end(s);
     rng::Xoshiro256pp& gen = gens[s];
+#if ANTDENSE_DYNAMICS
+    if constexpr (kDynCapable) {
+      if (rewrites) {
+        // Disjoint slice per shard: the pre-step snapshot is race-free.
+        std::copy(pos.begin() + b, pos.begin() + e, prev.begin() + b);
+      }
+    }
+#endif
     if (lazy) {
       for (std::uint32_t i = b; i < e; ++i) {
         if (!rng::bernoulli(gen, cfg.lazy_probability)) {
@@ -178,8 +213,32 @@ void run_walk_sharded(const T& topo, const WalkConfig& cfg,
           topo, std::span<const node>(pos).subspan(b, e - b),
           std::span<node>(pos).subspan(b, e - b), gen);
     }
+#if ANTDENSE_DYNAMICS
+    if constexpr (kDynCapable) {
+      if (rewrites) {
+        dyn->rewrite_moves(prev, pos, b, e);
+      }
+    }
+#endif
     graph::node_keys(topo, std::span<const node>(pos).subspan(b, e - b),
                      std::span<std::uint64_t>(keys).subspan(b, e - b));
+#if ANTDENSE_DYNAMICS
+    if (count_mask != nullptr) {
+      if (concurrent) {
+        for (std::uint32_t i = b; i < e; ++i) {
+          if (count_mask[i] != 0) {
+            counter.add(keys[i]);
+          }
+        }
+      } else {
+        for (std::uint32_t i = b; i < e; ++i) {
+          if (count_mask[i] != 0) {
+            counter.add_serial(keys[i]);
+          }
+        }
+      }
+    } else
+#endif
     if (concurrent) {
       for (std::uint32_t i = b; i < e; ++i) {
         counter.add(keys[i]);
@@ -220,6 +279,16 @@ void run_walk_sharded(const T& topo, const WalkConfig& cfg,
 
   for (round = 1; round <= cfg.rounds; ++round) {
     counter.begin_round();
+#if ANTDENSE_DYNAMICS
+    if constexpr (kDynCapable) {
+      if (dyn != nullptr && round > 1) {
+        // Serial mutation tick between rounds, on the mutation stream —
+        // identical for any thread count by construction.
+        const obs::EngineTap::PhaseSpan phase(tap, 2);
+        dyn->mutate(round, mut_gen, std::span<std::uint64_t>(pos));
+      }
+    }
+#endif
     (detail::notify_begin_round(observers, round), ...);
     {
       const obs::EngineTap::PhaseSpan phase(tap, 0);
@@ -259,7 +328,8 @@ DensityResult run_density_walk_sharded(
   cfg.validate();
   CollisionObserver observer(
       cfg.num_agents, {.detection_miss = cfg.detection_miss_probability,
-                       .spurious = cfg.spurious_collision_probability});
+                       .spurious = cfg.spurious_collision_probability,
+                       .dropout = cfg.observation_dropout_probability});
   run_walk_sharded(topo, cfg.walk_config(), rng::derive_seed(seed, 0x51u),
                    exec, initial_positions, observer, extra...);
 

@@ -96,6 +96,12 @@ void run_walk_vector_impl(
     Obs&... observers) {
   using node = typename T::node_type;
   const std::uint32_t n_agents = cfg.num_agents;
+  // Defense in depth behind the spec-validation fail-fast
+  // (scenario::ScenarioSpec::validate rejects engine=vector + dynamics):
+  // the wide-lane loop has no mutation phase.
+  ANTDENSE_CHECK(cfg.dynamics == nullptr,
+                 "the vector engine does not support dynamics models; "
+                 "use engine=single or engine=sharded");
 
   rng::WideStream stream(stream_seed);
   rng::Xoshiro256pp obs_gen(rng::derive_seed(stream_seed, kVectorObserverTag));
@@ -203,7 +209,8 @@ DensityResult run_density_walk_vector(
   cfg.validate();
   CollisionObserver observer(
       cfg.num_agents, {.detection_miss = cfg.detection_miss_probability,
-                       .spurious = cfg.spurious_collision_probability});
+                       .spurious = cfg.spurious_collision_probability,
+                       .dropout = cfg.observation_dropout_probability});
   run_walk_vector(topo, cfg.walk_config(), rng::derive_seed(seed, 0x51u),
                   exec, initial_positions, observer, extra...);
 

@@ -28,6 +28,8 @@ CollisionObserver::CollisionObserver(std::uint32_t num_agents, Noise noise)
                  "miss probability must be in [0,1]");
   ANTDENSE_CHECK(noise.spurious >= 0.0 && noise.spurious <= 1.0,
                  "spurious probability must be in [0,1]");
+  ANTDENSE_CHECK(noise.dropout >= 0.0 && noise.dropout <= 1.0,
+                 "dropout probability must be in [0,1]");
 }
 
 PropertyObserver::PropertyObserver(std::vector<bool> has_property)

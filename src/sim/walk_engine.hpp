@@ -5,6 +5,10 @@
 // instead of re-copying it.
 //
 // Structure of one round (identical to the original loops):
+//   0. when a dynamics model is attached (sim/dynamics.hpp) and r >= 2:
+//      the world mutates on its own domain-tagged RNG stream — the
+//      walk stream below never changes, so static configs stay
+//      bit-identical to their goldens;
 //   1. counter.begin_round()
 //   2. every agent steps: the batched topology API when the walk is not
 //      lazy (graph::random_neighbors — same generator stream as
@@ -37,14 +41,17 @@
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "graph/topology.hpp"
 #include "obs/telemetry.hpp"
 #include "rng/random.hpp"
+#include "rng/stream.hpp"
 #include "rng/xoshiro256pp.hpp"
 #include "sim/collision_counter.hpp"
 #include "sim/concurrent_counter.hpp"
+#include "sim/dynamics.hpp"
 #include "util/check.hpp"
 
 namespace antdense::sim {
@@ -55,6 +62,11 @@ struct WalkConfig {
   std::uint32_t num_agents = 0;
   std::uint32_t rounds = 0;
   double lazy_probability = 0.0;
+  /// Optional world-mutation model (sim/dynamics.hpp), not owned; null
+  /// means the historical static walk, bit for bit.  Requires a
+  /// uint64-node topology (the scenario layer's AnyTopology) and the
+  /// single or sharded engine.
+  WorldDynamics* dynamics = nullptr;
 
   void validate() const;
 };
@@ -117,6 +129,15 @@ class CollisionObserver {
   struct Noise {
     double detection_miss = 0.0;  // each partner goes undetected w.p. p
     double spurious = 0.0;        // phantom collision recorded w.p. p
+    /// The whole observation is lost w.p. p (the round still counts
+    /// toward the estimate's divisor).  Drawn first, before the miss
+    /// and spurious draws, so dropout = 0 leaves the historical streams
+    /// untouched.
+    double dropout = 0.0;
+
+    bool any() const {
+      return detection_miss > 0.0 || spurious > 0.0 || dropout > 0.0;
+    }
   };
 
   explicit CollisionObserver(std::uint32_t num_agents)
@@ -127,7 +148,7 @@ class CollisionObserver {
   void after_round(const View& v) {
     ANTDENSE_ASSERT(v.num_agents == counts_.size(),
                     "observer sized for a different agent count");
-    if (noise_.detection_miss == 0.0 && noise_.spurious == 0.0) {
+    if (!noise_.any()) {
       if (collisions_tap_ == nullptr) {
         for (std::uint32_t i = v.begin_agent; i < v.end_agent; ++i) {
           counts_[i] += v.counter.occupancy(v.keys[i]) - 1;
@@ -148,6 +169,9 @@ class CollisionObserver {
     }
     std::uint64_t observed = 0;
     for (std::uint32_t i = v.begin_agent; i < v.end_agent; ++i) {
+      if (noise_.dropout > 0.0 && rng::bernoulli(v.gen, noise_.dropout)) {
+        continue;  // reading lost entirely; no further draws this agent
+      }
       std::uint64_t others = v.counter.occupancy(v.keys[i]) - 1;
       if (noise_.detection_miss > 0.0) {
         // Each partner is detected independently w.p. 1-p: one binomial
@@ -341,9 +365,53 @@ void run_walk(const T& topo, const WalkConfig& cfg, std::uint64_t stream_seed,
   CollisionCounter counter(n_agents);
   const bool lazy = cfg.lazy_probability > 0.0;
 
-  obs::EngineTap tap("single", {"step", "count", "observe"});
+#if ANTDENSE_DYNAMICS
+  // Dynamics plumbing (sim/dynamics.hpp): dormant — null model, no
+  // copies, per-round branches only — for static walks, whose stream
+  // and output stay bit-identical to the historical goldens.  The
+  // mutation generator is its own domain-tagged stream; the walk
+  // stream `gen` is never touched by dynamics.
+  constexpr bool kDynCapable = std::is_same_v<node, std::uint64_t>;
+  WorldDynamics* dyn = cfg.dynamics;
+  if constexpr (!kDynCapable) {
+    ANTDENSE_CHECK(dyn == nullptr,
+                   "dynamics models require a uint64-node topology "
+                   "(run via graph::AnyTopology)");
+    dyn = nullptr;
+  }
+  const bool rewrites = dyn != nullptr && dyn->rewrites_moves();
+  const std::uint8_t* const count_mask =
+      dyn != nullptr ? dyn->count_mask() : nullptr;
+  rng::Xoshiro256pp mut_gen(
+      dyn != nullptr
+          ? rng::derive_mutation_stream(stream_seed, dyn->model_seed())
+          : 0);
+  std::vector<node> prev;
+#else
+  ANTDENSE_CHECK(cfg.dynamics == nullptr,
+                 "this build was configured with ANTDENSE_DYNAMICS=OFF");
+#endif
+
+  obs::EngineTap tap("single", {"step", "count", "observe", "mutate"});
   for (std::uint32_t r = 1; r <= cfg.rounds; ++r) {
     counter.begin_round();
+#if ANTDENSE_DYNAMICS
+    if constexpr (kDynCapable) {
+      if (dyn != nullptr) {
+        // The world is pristine in round 1 (the mutation phase runs
+        // *between* rounds); mutation may relocate evicted or reborn
+        // agents, so the pre-step snapshot for move rewriting is taken
+        // after it.
+        if (r > 1) {
+          const obs::EngineTap::PhaseSpan phase(tap, 3);
+          dyn->mutate(r, mut_gen, std::span<std::uint64_t>(pos));
+        }
+        if (rewrites) {
+          prev = pos;
+        }
+      }
+    }
+#endif
     {
       const obs::EngineTap::PhaseSpan phase(tap, 0);
       if (lazy) {
@@ -359,13 +427,37 @@ void run_walk(const T& topo, const WalkConfig& cfg, std::uint64_t stream_seed,
                                 std::span<node>(pos), gen);
       }
     }
+#if ANTDENSE_DYNAMICS
+    if constexpr (kDynCapable) {
+      if (rewrites) {
+        // Deterministic post-step veto/deflection of moves blocked by
+        // the mutated world: the walk stream drew the step exactly as
+        // the static engine would have.
+        dyn->rewrite_moves(prev, pos, 0, n_agents);
+      }
+    }
+#endif
     {
       const obs::EngineTap::PhaseSpan phase(tap, 1);
       graph::node_keys(topo, std::span<const node>(pos),
                        std::span<std::uint64_t>(keys));
+#if ANTDENSE_DYNAMICS
+      if (count_mask != nullptr) {
+        for (std::uint32_t i = 0; i < n_agents; ++i) {
+          if (count_mask[i] != 0) {
+            counter.add(keys[i]);
+          }
+        }
+      } else {
+        for (std::uint32_t i = 0; i < n_agents; ++i) {
+          counter.add(keys[i]);
+        }
+      }
+#else
       for (std::uint32_t i = 0; i < n_agents; ++i) {
         counter.add(keys[i]);
       }
+#endif
     }
     const RoundView view{r,
                          0,

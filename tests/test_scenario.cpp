@@ -463,7 +463,7 @@ TEST(Experiment, RejectsInvalidCombinations) {
   // Sensing noise is a density-workload knob.
   ScenarioSpec spec = tiny_spec("torus2d:16x16", Workload::kTrajectory);
   spec.trials = 1;
-  spec.detection_miss_probability = 0.5;
+  spec.sensing.detection_miss = 0.5;
   EXPECT_THROW(Experiment{spec}, std::invalid_argument);
   // Trial fan-out applies to density and property only.
   spec = tiny_spec("torus2d:16x16", Workload::kLocalDensity);
